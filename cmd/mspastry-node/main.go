@@ -1,0 +1,197 @@
+// Command mspastry-node runs one live MSPastry node over UDP, optionally
+// with the replicated key-value store on top, and takes commands on stdin.
+// It is the deployment counterpart of the simulator: the same protocol
+// code, real sockets.
+//
+// Start a two-node overlay on one machine:
+//
+//	mspastry-node -listen 127.0.0.1:7001 -bootstrap
+//	# note the printed "id=<hex>" line, then in another terminal:
+//	mspastry-node -listen 127.0.0.1:7002 -seed-addr 127.0.0.1:7001 -seed-id <hex>
+//
+// Commands on stdin:
+//
+//	put <key> <value...>   store a value in the DHT
+//	get <key>              fetch a value
+//	lookup <key>           route a bare lookup (delivery logged at the root)
+//	status                 print leaf set, routing table and counters
+//	quit                   leave (crash-stop) and exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"mspastry/internal/dht"
+	"mspastry/internal/id"
+	"mspastry/internal/pastry"
+	"mspastry/internal/transport"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		listen    = flag.String("listen", "127.0.0.1:0", "UDP listen address")
+		bootstrap = flag.Bool("bootstrap", false, "start a new overlay instead of joining")
+		seedAddr  = flag.String("seed-addr", "", "seed node address (host:port)")
+		seedID    = flag.String("seed-id", "", "seed node identifier (32 hex digits)")
+		nodeID    = flag.String("id", "", "this node's identifier (default: random)")
+		seed      = flag.Int64("seed", time.Now().UnixNano(), "random seed")
+		status    = flag.Duration("status", 0, "print a status line at this interval (0 = off)")
+	)
+	flag.Parse()
+
+	tr, err := transport.Listen(*listen, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tr.Close()
+
+	var self id.ID
+	if *nodeID != "" {
+		if self, err = id.Parse(*nodeID); err != nil {
+			log.Fatal(err)
+		}
+	}
+	cfg := pastry.DefaultConfig()
+	node, err := tr.CreateNode(self, cfg, logObserver{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var store *dht.Store
+	tr.DoSync(func(n *pastry.Node) {
+		store = dht.New(n, tr.Env(), dht.DefaultConfig())
+	})
+
+	fmt.Printf("node up: addr=%s id=%s\n", tr.Addr(), node.Ref().ID)
+
+	switch {
+	case *bootstrap:
+		tr.DoSync(func(n *pastry.Node) { n.Bootstrap() })
+		fmt.Println("bootstrapped a new overlay")
+	case *seedAddr != "" && *seedID != "":
+		sid, err := id.Parse(*seedID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ref := pastry.NodeRef{ID: sid, Addr: *seedAddr}
+		tr.DoSync(func(n *pastry.Node) { n.Join(ref) })
+		fmt.Printf("joining via %s...\n", *seedAddr)
+	default:
+		log.Fatal("need -bootstrap, or -seed-addr and -seed-id")
+	}
+
+	if *status > 0 {
+		go statusLoop(tr, *status)
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			fmt.Print("> ")
+			continue
+		}
+		switch fields[0] {
+		case "put":
+			if len(fields) < 3 {
+				fmt.Println("usage: put <key> <value...>")
+				break
+			}
+			key := id.FromKey(fields[1])
+			value := []byte(strings.Join(fields[2:], " "))
+			done := make(chan error, 1)
+			tr.Do(func(*pastry.Node) {
+				store.Put(key, value, func(err error) { done <- err })
+			})
+			if err := <-done; err != nil {
+				fmt.Printf("put failed: %v\n", err)
+			} else {
+				fmt.Printf("stored %q (key %s)\n", fields[1], key)
+			}
+		case "get":
+			if len(fields) != 2 {
+				fmt.Println("usage: get <key>")
+				break
+			}
+			key := id.FromKey(fields[1])
+			type result struct {
+				v   []byte
+				err error
+			}
+			done := make(chan result, 1)
+			tr.Do(func(*pastry.Node) {
+				store.Get(key, func(v []byte, err error) { done <- result{v, err} })
+			})
+			res := <-done
+			if res.err != nil {
+				fmt.Printf("get failed: %v\n", res.err)
+			} else {
+				fmt.Printf("%s\n", res.v)
+			}
+		case "lookup":
+			if len(fields) != 2 {
+				fmt.Println("usage: lookup <key>")
+				break
+			}
+			key := id.FromKey(fields[1])
+			tr.Do(func(n *pastry.Node) { n.Lookup(key, nil) })
+			fmt.Printf("lookup for %s routed (the root logs the delivery)\n", key)
+		case "status":
+			printStatus(tr)
+		case "quit", "exit":
+			fmt.Println("leaving the overlay")
+			return
+		default:
+			fmt.Println("commands: put, get, lookup, status, quit")
+		}
+		fmt.Print("> ")
+	}
+}
+
+func statusLoop(tr *transport.UDP, every time.Duration) {
+	for range time.Tick(every) {
+		printStatus(tr)
+	}
+}
+
+func printStatus(tr *transport.UDP) {
+	tr.DoSync(func(n *pastry.Node) {
+		if n == nil {
+			return
+		}
+		fmt.Printf("status: active=%v leaf=%d rt=%d trt=%v\n",
+			n.Active(), n.Leaf().Size(), n.Table().Count(), n.Trt().Round(time.Second))
+		if left, ok := n.Leaf().LeftNeighbour(); ok {
+			fmt.Printf("  left  neighbour: %s\n", left.ID)
+		}
+		if right, ok := n.Leaf().RightNeighbour(); ok {
+			fmt.Printf("  right neighbour: %s\n", right.ID)
+		}
+		sent, recv := tr.Counters()
+		fmt.Printf("  messages: sent=%d received=%d\n", sent, recv)
+	})
+}
+
+// logObserver prints protocol events.
+type logObserver struct{}
+
+func (logObserver) Activated(n *pastry.Node, lat time.Duration) {
+	fmt.Printf("\nactive after %v (leaf set size %d)\n> ", lat.Round(time.Millisecond), n.Leaf().Size())
+}
+
+func (logObserver) Delivered(n *pastry.Node, lk *pastry.Lookup) {
+	if len(lk.Payload) == 0 {
+		fmt.Printf("\ndelivered lookup for %s (from %s, %d hops)\n> ", lk.Key, lk.Origin.Addr, lk.Hops)
+	}
+}
+
+func (logObserver) LookupDropped(n *pastry.Node, lk *pastry.Lookup, reason pastry.DropReason) {
+	fmt.Printf("\ndropped lookup for %s: %s\n> ", lk.Key, reason)
+}

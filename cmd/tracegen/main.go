@@ -1,0 +1,101 @@
+// Command tracegen generates and analyses churn traces. It can write a
+// trace in the text format of internal/trace, or print the Figure 3
+// failure-rate series for a generated or existing trace file.
+//
+// Examples:
+//
+//	tracegen -trace gnutella -trace-div 4 -o gnutella.trace
+//	tracegen -trace poisson -session 30m -nodes 1000 -duration 4h -o p.trace
+//	tracegen -analyze gnutella.trace -window 10m
+//	tracegen -trace microsoft -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mspastry/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		sel      = flag.String("trace", "gnutella", "trace family: gnutella, overnet, microsoft, poisson")
+		traceDiv = flag.Int("trace-div", 1, "population divisor (1 = paper size)")
+		maxDur   = flag.Duration("max-dur", 0, "cap on duration (0 = full)")
+		session  = flag.Duration("session", 30*time.Minute, "poisson: mean session")
+		nodes    = flag.Int("nodes", 10000, "poisson: average nodes")
+		duration = flag.Duration("duration", 4*time.Hour, "poisson: duration")
+		seed     = flag.Int64("seed", 0, "override seed (0 = family default)")
+		out      = flag.String("o", "", "write the trace to this file")
+		analyze  = flag.String("analyze", "", "analyse an existing trace file instead of generating")
+		window   = flag.Duration("window", 10*time.Minute, "analysis window")
+		stats    = flag.Bool("stats", false, "print summary statistics")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	if *analyze != "" {
+		f, err := os.Open(*analyze)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		tr, err = trace.Decode(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		var cfg trace.Config
+		switch *sel {
+		case "gnutella":
+			cfg = trace.Gnutella()
+		case "overnet":
+			cfg = trace.OverNet()
+		case "microsoft":
+			cfg = trace.Microsoft()
+		case "poisson":
+			cfg = trace.Poisson(*session, *nodes, *duration)
+		default:
+			log.Fatalf("unknown trace family %q", *sel)
+		}
+		cfg = cfg.Scaled(*traceDiv, *maxDur)
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		tr = trace.Generate(cfg)
+	}
+
+	if err := tr.Validate(); err != nil {
+		log.Fatalf("trace invalid: %v", err)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.Encode(f, tr); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s: %d nodes, %d events, %v\n", *out, tr.Nodes, len(tr.Events), tr.Duration)
+	}
+
+	if *stats || *out == "" {
+		lo, hi := tr.ActiveBounds()
+		fmt.Printf("trace %s: %d node slots, %d events over %v\n", tr.Name, tr.Nodes, len(tr.Events), tr.Duration)
+		fmt.Printf("active nodes: %d..%d (initial %d)\n", lo, hi, len(tr.Initial))
+		fmt.Printf("mean completed session: %v\n", tr.MeanSessionObserved().Round(time.Second))
+		fmt.Printf("\n%-10s %10s %8s %8s %14s\n", "window", "active", "joins", "leaves", "failures/n/s")
+		for _, w := range tr.Windows(*window) {
+			fmt.Printf("%-10s %10.0f %8d %8d %14.3e\n",
+				w.Start.Round(time.Second), w.Active, w.Joins, w.Leaves, w.FailureRate)
+		}
+	}
+}

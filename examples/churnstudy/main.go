@@ -1,0 +1,46 @@
+// Churnstudy: the paper's headline experiment in miniature. Runs the
+// MSPastry harness against scaled versions of the three real-world churn
+// traces (Gnutella, OverNet, Microsoft) and prints the dependability and
+// performance metrics of §5.2: lookup loss rate, incorrect delivery rate,
+// RDP and control traffic.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mspastry"
+)
+
+func main() {
+	log.SetFlags(0)
+	topo, err := mspastry.BuildTopology("gatech", 8, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	traces := []mspastry.TraceConfig{
+		mspastry.GnutellaTrace().Scaled(16, 2*time.Hour),
+		mspastry.OverNetTrace().Scaled(4, 2*time.Hour),
+		mspastry.MicrosoftTrace().Scaled(100, 2*time.Hour),
+	}
+
+	fmt.Printf("%-10s %8s %10s %10s %8s %10s %10s\n",
+		"trace", "nodes", "loss", "incorrect", "RDP", "ctrl/n/s", "medianTrt")
+	for _, tc := range traces {
+		tr := mspastry.GenerateTrace(tc)
+		cfg := mspastry.DefaultExperiment(topo, tr)
+		cfg.SetupRamp = 5 * time.Minute
+		res := mspastry.RunExperiment(cfg)
+		t := res.Totals
+		fmt.Printf("%-10s %8.0f %10.2e %10.2e %8.2f %10.3f %10s\n",
+			tc.Name, t.MeanActive, t.LossRate, t.IncorrectRate, t.RDP,
+			t.ControlPerNodeSec, res.TrtMedian.Round(time.Second))
+	}
+	fmt.Println()
+	fmt.Println("Expected shape (paper §5.3): zero incorrect deliveries without link")
+	fmt.Println("loss; loss rates in the 1e-5 regime; RDP roughly constant across")
+	fmt.Println("traces thanks to self-tuning; Microsoft control traffic well below")
+	fmt.Println("the open-Internet traces; self-tuned Trt longest for Microsoft.")
+}

@@ -1,0 +1,97 @@
+// Webcache: a Squirrel-style decentralized web cache on MSPastry, under
+// churn. 40 desktop machines share their browser caches; popular pages are
+// fetched from the origin once and then served by peer home nodes, even as
+// machines crash and rejoin.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"mspastry"
+)
+
+func main() {
+	log.SetFlags(0)
+	sim := mspastry.NewSimulator(7)
+	topo := mspastry.NewCorpNetTopology(mspastry.DefaultCorpNetConfig(), rand.New(rand.NewSource(7)))
+	net := mspastry.NewSimNetwork(sim, topo, 0)
+
+	cfg := mspastry.DefaultConfig()
+	cfg.L = 16
+
+	originFetches := 0
+	origin := mspastry.SquirrelOriginFunc(func(url string) ([]byte, error) {
+		originFetches++
+		return []byte("<html>" + url + "</html>"), nil
+	})
+
+	const n = 40
+	first := topo.Attach(n, sim.Rand())
+	var proxies []*mspastry.SquirrelProxy
+	var seed mspastry.NodeRef
+	for i := 0; i < n; i++ {
+		ep := net.NewEndpoint(first + i)
+		ref := mspastry.NodeRef{ID: mspastry.RandomID(sim.Rand()), Addr: ep.Addr()}
+		node, err := mspastry.NewNode(ref, cfg, ep, nil)
+		if err != nil {
+			log.Fatalf("create node: %v", err)
+		}
+		ep.Bind(node)
+		proxies = append(proxies, mspastry.NewSquirrel(node, origin, mspastry.DefaultSquirrelConfig()))
+		if i == 0 {
+			node.Bootstrap()
+			seed = ref
+		} else {
+			node.Join(seed)
+		}
+		sim.RunUntil(sim.Now() + 2*time.Second)
+	}
+	sim.RunUntil(sim.Now() + time.Minute)
+	log.Printf("web cache overlay of %d machines up at t=%v", n, sim.Now())
+
+	// Browse: a Zipf-ish workload over 50 pages from random machines.
+	pages := make([]string, 50)
+	for i := range pages {
+		pages[i] = fmt.Sprintf("http://intranet.example/page-%02d", i)
+	}
+	requests, failures := 0, 0
+	outcomes := map[mspastry.SquirrelOutcome]int{}
+	zipf := rand.NewZipf(sim.Rand(), 1.2, 1.0, uint64(len(pages)-1))
+	for r := 0; r < 600; r++ {
+		page := pages[int(zipf.Uint64())]
+		proxy := proxies[sim.Rand().Intn(len(proxies))]
+		if !proxy.Node().Alive() {
+			continue
+		}
+		requests++
+		proxy.Get(page, func(body []byte, o mspastry.SquirrelOutcome) {
+			outcomes[o]++
+			if o == mspastry.SquirrelFailed {
+				failures++
+			}
+		})
+		sim.RunUntil(sim.Now() + time.Second)
+		// Occasionally crash a machine mid-run (its cached objects move
+		// to the next closest node on demand).
+		if r == 300 {
+			victim := proxies[13]
+			if ep, ok := net.Endpoint(victim.Node().Ref().Addr); ok {
+				ep.Fail()
+				log.Printf("t=%v: machine %s crashed", sim.Now(), victim.Node().Ref().ID)
+			}
+		}
+	}
+	sim.RunUntil(sim.Now() + 30*time.Second)
+
+	fmt.Printf("requests:      %d\n", requests)
+	fmt.Printf("local hits:    %d\n", outcomes[mspastry.SquirrelHitLocal])
+	fmt.Printf("remote hits:   %d\n", outcomes[mspastry.SquirrelHitRemote])
+	fmt.Printf("origin misses: %d\n", outcomes[mspastry.SquirrelMissOrigin])
+	fmt.Printf("failures:      %d\n", outcomes[mspastry.SquirrelFailed])
+	fmt.Printf("origin fetches (vs %d requests): %d\n", requests, originFetches)
+	hitRate := float64(outcomes[mspastry.SquirrelHitLocal]+outcomes[mspastry.SquirrelHitRemote]) / float64(requests)
+	fmt.Printf("overall cache hit rate: %.0f%%\n", 100*hitRate)
+}

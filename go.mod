@@ -1,0 +1,3 @@
+module mspastry
+
+go 1.22

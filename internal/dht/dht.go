@@ -1,0 +1,405 @@
+// Package dht implements a replicated key-value store over MSPastry, in
+// the style of the archival stores the paper cites as overlay applications
+// (PAST, CFS). An object lives on its key's root node and is replicated to
+// the k-1 nodes closest to the key; replication is maintained as soft
+// state against churn, so objects survive root failures.
+//
+// The store demonstrates the paper's remark that "applications that
+// require guaranteed delivery can use end-to-end acks and
+// retransmissions": every Put and Get is acknowledged end-to-end by the
+// responsible node and retried by the requester until it succeeds or the
+// retry budget is exhausted.
+package dht
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"mspastry/internal/id"
+	"mspastry/internal/pastry"
+)
+
+// Config tunes the store.
+type Config struct {
+	// ReplicationFactor k is the number of nodes holding each object
+	// (the root plus k-1 leaf-set neighbours).
+	ReplicationFactor int
+	// SweepInterval is how often each node re-checks responsibility for
+	// its stored objects and re-pushes replicas.
+	SweepInterval time.Duration
+	// RequestTimeout is the end-to-end ack timeout for Put/Get.
+	RequestTimeout time.Duration
+	// MaxRetries bounds end-to-end retransmissions.
+	MaxRetries int
+}
+
+// DefaultConfig returns k=3 replication with 30-second sweeps.
+func DefaultConfig() Config {
+	return Config{
+		ReplicationFactor: 3,
+		SweepInterval:     30 * time.Second,
+		RequestTimeout:    10 * time.Second,
+		MaxRetries:        4,
+	}
+}
+
+// ErrTimeout reports an operation whose retries were exhausted.
+var ErrTimeout = errors.New("dht: request timed out")
+
+// ErrNotFound reports a Get for a key no responsible node holds.
+var ErrNotFound = errors.New("dht: key not found")
+
+// Store is one DHT node. It implements pastry.App; all methods must run in
+// the node's Env context.
+type Store struct {
+	node *pastry.Node
+	env  pastry.Env
+	cfg  Config
+
+	objects map[id.ID][]byte
+
+	nextReq uint64
+	pending map[uint64]*pendingOp
+
+	// Stats counters.
+	Puts, Gets, Retries, ReplicasPushed uint64
+}
+
+type pendingOp struct {
+	key     id.ID
+	isPut   bool
+	value   []byte
+	retries int
+	timer   pastry.Timer
+	donePut func(error)
+	doneGet func([]byte, error)
+}
+
+// New attaches a store to node, registering it as the application layer,
+// and starts the replication sweep.
+func New(node *pastry.Node, env pastry.Env, cfg Config) *Store {
+	if cfg.ReplicationFactor < 1 {
+		cfg.ReplicationFactor = 1
+	}
+	s := &Store{
+		node:    node,
+		env:     env,
+		cfg:     cfg,
+		objects: make(map[id.ID][]byte),
+		pending: make(map[uint64]*pendingOp),
+	}
+	node.SetApp(s)
+	s.armSweep()
+	return s
+}
+
+// Node returns the underlying overlay node.
+func (s *Store) Node() *pastry.Node { return s.node }
+
+// LocalObjects returns how many objects this node currently stores.
+func (s *Store) LocalObjects() int { return len(s.objects) }
+
+// HasLocal reports whether the node holds a replica of key.
+func (s *Store) HasLocal(key id.ID) bool {
+	_, ok := s.objects[key]
+	return ok
+}
+
+// Put stores value under key with end-to-end acknowledgement; done is
+// called exactly once.
+func (s *Store) Put(key id.ID, value []byte, done func(error)) {
+	s.Puts++
+	s.nextReq++
+	op := &pendingOp{key: key, isPut: true, value: value, donePut: done}
+	s.pending[s.nextReq] = op
+	s.sendOp(s.nextReq, op)
+}
+
+// Get fetches the value under key with end-to-end acknowledgement; done is
+// called exactly once.
+func (s *Store) Get(key id.ID, done func([]byte, error)) {
+	s.Gets++
+	s.nextReq++
+	op := &pendingOp{key: key, doneGet: done}
+	s.pending[s.nextReq] = op
+	s.sendOp(s.nextReq, op)
+}
+
+func (s *Store) sendOp(reqID uint64, op *pendingOp) {
+	var payload []byte
+	if op.isPut {
+		payload = encodePut(reqID, op.value)
+	} else {
+		payload = encodeGet(reqID)
+	}
+	if _, ok := s.node.Lookup(op.key, payload); !ok {
+		s.finish(reqID, nil, errors.New("dht: node is down"))
+		return
+	}
+	op.timer = s.env.Schedule(s.cfg.RequestTimeout, func() { s.opTimeout(reqID) })
+}
+
+func (s *Store) opTimeout(reqID uint64) {
+	op, ok := s.pending[reqID]
+	if !ok {
+		return
+	}
+	if op.retries >= s.cfg.MaxRetries {
+		s.finish(reqID, nil, ErrTimeout)
+		return
+	}
+	op.retries++
+	s.Retries++
+	s.sendOp(reqID, op)
+}
+
+func (s *Store) finish(reqID uint64, value []byte, err error) {
+	op, ok := s.pending[reqID]
+	if !ok {
+		return
+	}
+	delete(s.pending, reqID)
+	if op.timer != nil {
+		op.timer.Cancel()
+	}
+	if op.isPut {
+		op.donePut(err)
+		return
+	}
+	op.doneGet(value, err)
+}
+
+// Deliver implements pastry.App: the node is the root for the requested
+// key.
+func (s *Store) Deliver(lk *pastry.Lookup) {
+	kind, reqID, value, ok := decodeRequest(lk.Payload)
+	if !ok {
+		return
+	}
+	switch kind {
+	case kindPut:
+		s.objects[lk.Key] = value
+		s.replicate(lk.Key, value)
+		s.reply(lk.Origin, reqID, encodePutAck(reqID))
+	case kindGet:
+		stored, found := s.objects[lk.Key]
+		s.reply(lk.Origin, reqID, encodeGetResp(reqID, found, stored))
+	}
+}
+
+func (s *Store) reply(to pastry.NodeRef, reqID uint64, payload []byte) {
+	if to.ID == s.node.Ref().ID {
+		s.handleResponse(payload)
+		return
+	}
+	s.node.SendDirect(to, payload)
+}
+
+// Forward implements pastry.App: the store does not intercept routing.
+func (s *Store) Forward(*pastry.Lookup) bool { return true }
+
+// Direct implements pastry.App: end-to-end responses and replica pushes.
+func (s *Store) Direct(from pastry.NodeRef, payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	if payload[0] == kindReplicate {
+		key, value, ok := decodeReplicate(payload)
+		if ok {
+			s.objects[key] = value
+		}
+		return
+	}
+	s.handleResponse(payload)
+}
+
+func (s *Store) handleResponse(payload []byte) {
+	switch payload[0] {
+	case kindPutAck:
+		reqID, ok := decodePutAck(payload)
+		if ok {
+			s.finish(reqID, nil, nil)
+		}
+	case kindGetResp:
+		reqID, found, value, ok := decodeGetResp(payload)
+		if !ok {
+			return
+		}
+		if found {
+			s.finish(reqID, value, nil)
+		} else {
+			s.finish(reqID, nil, ErrNotFound)
+		}
+	}
+}
+
+// replicate pushes an object to the k-1 leaf-set members closest to key.
+func (s *Store) replicate(key id.ID, value []byte) {
+	for _, m := range s.replicaTargets(key) {
+		s.ReplicasPushed++
+		s.node.SendDirect(m, encodeReplicate(key, value))
+	}
+}
+
+// replicaTargets returns the k-1 leaf members closest to key.
+func (s *Store) replicaTargets(key id.ID) []pastry.NodeRef {
+	members := s.node.Leaf().Members()
+	// Selection sort of the k-1 closest; leaf sets are small.
+	want := s.cfg.ReplicationFactor - 1
+	if want > len(members) {
+		want = len(members)
+	}
+	for i := 0; i < want; i++ {
+		best := i
+		for j := i + 1; j < len(members); j++ {
+			if id.CloserToKey(key, members[j].ID, members[best].ID) {
+				best = j
+			}
+		}
+		members[i], members[best] = members[best], members[i]
+	}
+	return members[:want]
+}
+
+// armSweep starts the periodic responsibility sweep.
+func (s *Store) armSweep() {
+	s.env.Schedule(s.cfg.SweepInterval, func() {
+		if !s.node.Alive() {
+			return
+		}
+		s.sweep()
+		s.armSweep()
+	})
+}
+
+// sweep re-establishes the replication invariant after churn: if this node
+// believes it is the root of a stored key, it re-pushes replicas (new
+// neighbours may have joined); if it is no longer among the responsible
+// nodes, it drops the object (with hysteresis: 2k closest).
+func (s *Store) sweep() {
+	if !s.node.Active() {
+		return
+	}
+	members := s.node.Leaf().Members()
+	for key, value := range s.objects {
+		rank := s.rankForKey(key, members)
+		switch {
+		case rank == 0:
+			// We are the root (in our view): ensure replicas exist.
+			s.replicate(key, value)
+		case rank >= 2*s.cfg.ReplicationFactor:
+			// Far outside the responsible set: hand the object to the
+			// current root (in case it never saw it) and drop it.
+			if root, ok := s.closestMember(key, members); ok {
+				s.node.SendDirect(root, encodeReplicate(key, value))
+			}
+			delete(s.objects, key)
+		}
+	}
+}
+
+// rankForKey returns this node's rank (0 = closest) among itself and its
+// leaf members for the key.
+func (s *Store) rankForKey(key id.ID, members []pastry.NodeRef) int {
+	rank := 0
+	for _, m := range members {
+		if id.CloserToKey(key, m.ID, s.node.Ref().ID) {
+			rank++
+		}
+	}
+	return rank
+}
+
+func (s *Store) closestMember(key id.ID, members []pastry.NodeRef) (pastry.NodeRef, bool) {
+	if len(members) == 0 {
+		return pastry.NodeRef{}, false
+	}
+	best := members[0]
+	for _, m := range members[1:] {
+		if id.CloserToKey(key, m.ID, best.ID) {
+			best = m
+		}
+	}
+	return best, true
+}
+
+// Wire formats: 1-byte kind, then fields.
+const (
+	kindPut byte = iota + 1
+	kindGet
+	kindPutAck
+	kindGetResp
+	kindReplicate
+)
+
+func encodePut(reqID uint64, value []byte) []byte {
+	buf := append(make([]byte, 0, 16+len(value)), kindPut)
+	buf = binary.AppendUvarint(buf, reqID)
+	return append(buf, value...)
+}
+
+func encodeGet(reqID uint64) []byte {
+	buf := append(make([]byte, 0, 16), kindGet)
+	return binary.AppendUvarint(buf, reqID)
+}
+
+func decodeRequest(buf []byte) (kind byte, reqID uint64, value []byte, ok bool) {
+	if len(buf) < 2 || (buf[0] != kindPut && buf[0] != kindGet) {
+		return 0, 0, nil, false
+	}
+	v, n := binary.Uvarint(buf[1:])
+	if n <= 0 {
+		return 0, 0, nil, false
+	}
+	return buf[0], v, buf[1+n:], true
+}
+
+func encodePutAck(reqID uint64) []byte {
+	buf := append(make([]byte, 0, 16), kindPutAck)
+	return binary.AppendUvarint(buf, reqID)
+}
+
+func decodePutAck(buf []byte) (uint64, bool) {
+	if len(buf) < 2 || buf[0] != kindPutAck {
+		return 0, false
+	}
+	v, n := binary.Uvarint(buf[1:])
+	return v, n > 0
+}
+
+func encodeGetResp(reqID uint64, found bool, value []byte) []byte {
+	buf := append(make([]byte, 0, 16+len(value)), kindGetResp)
+	if found {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, reqID)
+	return append(buf, value...)
+}
+
+func decodeGetResp(buf []byte) (reqID uint64, found bool, value []byte, ok bool) {
+	if len(buf) < 3 || buf[0] != kindGetResp {
+		return 0, false, nil, false
+	}
+	found = buf[1] != 0
+	v, n := binary.Uvarint(buf[2:])
+	if n <= 0 {
+		return 0, false, nil, false
+	}
+	return v, found, buf[2+n:], true
+}
+
+func encodeReplicate(key id.ID, value []byte) []byte {
+	buf := append(make([]byte, 0, 32+len(value)), kindReplicate)
+	buf = append(buf, key.Bytes()...)
+	return append(buf, value...)
+}
+
+func decodeReplicate(buf []byte) (key id.ID, value []byte, ok bool) {
+	if len(buf) < 17 || buf[0] != kindReplicate {
+		return id.ID{}, nil, false
+	}
+	return id.FromBytes(buf[1:17]), buf[17:], true
+}

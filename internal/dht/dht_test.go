@@ -1,0 +1,278 @@
+package dht
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"mspastry/internal/eventsim"
+	"mspastry/internal/id"
+	"mspastry/internal/netmodel"
+	"mspastry/internal/pastry"
+	"mspastry/internal/topology"
+)
+
+type simCluster struct {
+	sim    *eventsim.Simulator
+	nw     *netmodel.Network
+	stores []*Store
+}
+
+func newCluster(t *testing.T, n int, seed int64, cfg Config) *simCluster {
+	t.Helper()
+	sim := eventsim.New(seed)
+	topo := topology.CorpNet(topology.CorpNetConfig{Hubs: 6, EdgeRouters: 30}, rand.New(rand.NewSource(seed)))
+	nw := netmodel.New(sim, topo, 0)
+	c := &simCluster{sim: sim, nw: nw}
+	pcfg := pastry.DefaultConfig()
+	pcfg.L = 8
+	pcfg.PNS = false
+	first := topo.Attach(n, sim.Rand())
+	var seedRef pastry.NodeRef
+	for i := 0; i < n; i++ {
+		ep := nw.NewEndpoint(first + i)
+		ref := pastry.NodeRef{ID: id.Random(sim.Rand()), Addr: ep.Addr()}
+		node, err := pastry.NewNode(ref, pcfg, ep, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep.Bind(node)
+		c.stores = append(c.stores, New(node, ep, cfg))
+		if i == 0 {
+			node.Bootstrap()
+			seedRef = ref
+		} else {
+			node.Join(seedRef)
+		}
+		sim.RunUntil(sim.Now() + 5*time.Second)
+	}
+	sim.RunUntil(sim.Now() + time.Minute)
+	for i, s := range c.stores {
+		if !s.Node().Active() {
+			t.Fatalf("node %d not active", i)
+		}
+	}
+	return c
+}
+
+func (c *simCluster) settle(d time.Duration) { c.sim.RunUntil(c.sim.Now() + d) }
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c := newCluster(t, 12, 1, DefaultConfig())
+	key := id.New(0xfeed, 0xbeef)
+	putErr := error(fmt.Errorf("not called"))
+	c.stores[2].Put(key, []byte("hello"), func(err error) { putErr = err })
+	c.settle(15 * time.Second)
+	if putErr != nil {
+		t.Fatalf("put: %v", putErr)
+	}
+	var got []byte
+	var getErr error
+	c.stores[9].Get(key, func(v []byte, err error) { got, getErr = v, err })
+	c.settle(15 * time.Second)
+	if getErr != nil {
+		t.Fatalf("get: %v", getErr)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestGetMissingKey(t *testing.T) {
+	c := newCluster(t, 10, 2, DefaultConfig())
+	var err error
+	called := false
+	c.stores[1].Get(id.New(0x404, 0x404), func(_ []byte, e error) { called, err = true, e })
+	c.settle(15 * time.Second)
+	if !called {
+		t.Fatal("callback never invoked")
+	}
+	if err != ErrNotFound {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestReplicationFactorHolds(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReplicationFactor = 3
+	c := newCluster(t, 14, 3, cfg)
+	key := id.New(0xabc, 0xdef)
+	c.stores[0].Put(key, []byte("replicated"), func(error) {})
+	c.settle(10 * time.Second)
+	holders := 0
+	for _, s := range c.stores {
+		if s.HasLocal(key) {
+			holders++
+		}
+	}
+	if holders != cfg.ReplicationFactor {
+		t.Fatalf("replica count = %d, want %d", holders, cfg.ReplicationFactor)
+	}
+}
+
+func TestObjectSurvivesRootFailure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReplicationFactor = 3
+	c := newCluster(t, 14, 4, cfg)
+	key := id.New(0x1234, 0x5678)
+	c.stores[0].Put(key, []byte("durable"), func(error) {})
+	c.settle(10 * time.Second)
+
+	// Fail the root (the store holding the object whose node is closest).
+	var root *Store
+	for _, s := range c.stores {
+		if !s.HasLocal(key) {
+			continue
+		}
+		if root == nil || id.CloserToKey(key, s.Node().Ref().ID, root.Node().Ref().ID) {
+			root = s
+		}
+	}
+	if root == nil {
+		t.Fatal("no holder found")
+	}
+	if ep, ok := c.nw.Endpoint(root.Node().Ref().Addr); ok {
+		ep.Fail()
+	}
+	// Wait for overlay repair plus a sweep cycle.
+	c.settle(3 * time.Minute)
+
+	var got []byte
+	var err error
+	done := false
+	c.stores[5].Get(key, func(v []byte, e error) { got, err, done = v, e, true })
+	c.settle(30 * time.Second)
+	if !done {
+		t.Fatal("get never completed after root failure")
+	}
+	if err != nil {
+		t.Fatalf("get after root failure: %v", err)
+	}
+	if string(got) != "durable" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSweepRestoresReplicasAfterFailure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReplicationFactor = 3
+	cfg.SweepInterval = 20 * time.Second
+	c := newCluster(t, 14, 5, cfg)
+	key := id.New(0x777, 0x888)
+	c.stores[0].Put(key, []byte("x"), func(error) {})
+	c.settle(10 * time.Second)
+	// Fail one (non-root) replica holder.
+	var victim *Store
+	var root *Store
+	for _, s := range c.stores {
+		if !s.HasLocal(key) {
+			continue
+		}
+		if root == nil || id.CloserToKey(key, s.Node().Ref().ID, root.Node().Ref().ID) {
+			root = s
+		}
+	}
+	for _, s := range c.stores {
+		if s.HasLocal(key) && s != root {
+			victim = s
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatal("no replica found")
+	}
+	if ep, ok := c.nw.Endpoint(victim.Node().Ref().Addr); ok {
+		ep.Fail()
+	}
+	// Overlay repair + sweep: a fresh node must take over the replica.
+	c.settle(3 * time.Minute)
+	holders := 0
+	for _, s := range c.stores {
+		if s.Node().Alive() && s.HasLocal(key) {
+			holders++
+		}
+	}
+	if holders < cfg.ReplicationFactor {
+		t.Fatalf("replicas not restored: %d < %d", holders, cfg.ReplicationFactor)
+	}
+}
+
+func TestEndToEndRetrySurvivesLoss(t *testing.T) {
+	// 10% link loss: per-hop acks handle most of it, and the end-to-end
+	// retry absorbs lost responses.
+	sim := eventsim.New(7)
+	topo := topology.CorpNet(topology.CorpNetConfig{Hubs: 6, EdgeRouters: 30}, rand.New(rand.NewSource(7)))
+	nw := netmodel.New(sim, topo, 0.10)
+	pcfg := pastry.DefaultConfig()
+	pcfg.L = 8
+	pcfg.PNS = false
+	cfg := DefaultConfig()
+	cfg.RequestTimeout = 5 * time.Second
+	var stores []*Store
+	first := topo.Attach(10, sim.Rand())
+	var seedRef pastry.NodeRef
+	for i := 0; i < 10; i++ {
+		ep := nw.NewEndpoint(first + i)
+		ref := pastry.NodeRef{ID: id.Random(sim.Rand()), Addr: ep.Addr()}
+		node, err := pastry.NewNode(ref, pcfg, ep, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep.Bind(node)
+		stores = append(stores, New(node, ep, cfg))
+		if i == 0 {
+			node.Bootstrap()
+			seedRef = ref
+		} else {
+			node.Join(seedRef)
+		}
+		sim.RunUntil(sim.Now() + 5*time.Second)
+	}
+	sim.RunUntil(sim.Now() + 2*time.Minute)
+
+	okPuts := 0
+	for i := 0; i < 30; i++ {
+		key := id.Random(sim.Rand())
+		stores[i%10].Put(key, []byte("v"), func(err error) {
+			if err == nil {
+				okPuts++
+			}
+		})
+		sim.RunUntil(sim.Now() + 10*time.Second)
+	}
+	sim.RunUntil(sim.Now() + time.Minute)
+	if okPuts < 28 {
+		t.Fatalf("only %d/30 puts succeeded under 10%% loss", okPuts)
+	}
+}
+
+func TestCodecRoundTrips(t *testing.T) {
+	k, r, v, ok := decodeRequest(encodePut(42, []byte("val")))
+	if !ok || k != kindPut || r != 42 || string(v) != "val" {
+		t.Fatal("put codec")
+	}
+	k, r, v, ok = decodeRequest(encodeGet(7))
+	if !ok || k != kindGet || r != 7 || len(v) != 0 {
+		t.Fatal("get codec")
+	}
+	if r, ok := decodePutAck(encodePutAck(9)); !ok || r != 9 {
+		t.Fatal("putack codec")
+	}
+	rid, found, val, ok := decodeGetResp(encodeGetResp(5, true, []byte("x")))
+	if !ok || rid != 5 || !found || string(val) != "x" {
+		t.Fatal("getresp codec")
+	}
+	key := id.New(1, 2)
+	gk, gv, ok := decodeReplicate(encodeReplicate(key, []byte("y")))
+	if !ok || gk != key || string(gv) != "y" {
+		t.Fatal("replicate codec")
+	}
+	// Garbage rejection.
+	if _, _, _, ok := decodeRequest([]byte{0xff, 1}); ok {
+		t.Fatal("garbage request accepted")
+	}
+	if _, _, ok := decodeReplicate([]byte{kindReplicate, 1}); ok {
+		t.Fatal("short replicate accepted")
+	}
+}

@@ -1,0 +1,184 @@
+// Package eventsim provides a deterministic discrete-event simulation
+// engine: a virtual clock, a priority queue of scheduled callbacks and a
+// seeded random source. The MSPastry evaluation in the paper runs on a
+// "simple packet-level discrete event simulator"; this is ours.
+//
+// All state transitions in a simulation happen inside event callbacks, which
+// the engine executes one at a time in (time, schedule-order) order, so
+// simulations are single-threaded and reproducible for a given seed.
+package eventsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	when     time.Duration
+	seq      uint64
+	fn       func()
+	index    int // position in the heap, -1 once removed
+	canceled bool
+}
+
+// When returns the virtual time at which the event is (or was) scheduled.
+func (e *Event) When() time.Duration { return e.when }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired or was already cancelled is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Simulator is a discrete-event scheduler with a virtual clock.
+// The zero value is not usable; construct with New.
+type Simulator struct {
+	now       time.Duration
+	events    eventHeap
+	seq       uint64
+	rng       *rand.Rand
+	steps     uint64
+	stopped   bool
+	onAdvance func(time.Duration)
+}
+
+// New creates a simulator whose clock starts at 0 and whose random source is
+// seeded with seed, so runs are reproducible.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Rand returns the simulation's random source. All randomness in a
+// simulation must come from here to keep runs reproducible.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Steps returns the number of events executed so far.
+func (s *Simulator) Steps() uint64 { return s.steps }
+
+// Pending returns the number of events scheduled and not yet fired
+// (including cancelled events that have not been reaped yet).
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// OnAdvance registers a callback invoked whenever the virtual clock moves
+// forward, with the new time. Metric collectors use it to close windows.
+func (s *Simulator) OnAdvance(fn func(time.Duration)) { s.onAdvance = fn }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// (before Now) panics: that is always a logic error in a simulation.
+func (s *Simulator) At(t time.Duration, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("eventsim: scheduling at %v before now %v", t, s.now))
+	}
+	e := &Event{when: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Simulator) After(d time.Duration, fn func()) *Event {
+	return s.At(s.now+d, fn)
+}
+
+// Stop makes the current Run/RunUntil call return after the current event's
+// callback completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Step executes the next event, advancing the clock to its time. It returns
+// false when no events remain.
+func (s *Simulator) Step() bool {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*Event)
+		if e.canceled {
+			continue
+		}
+		if e.when > s.now {
+			s.now = e.when
+			if s.onAdvance != nil {
+				s.onAdvance(s.now)
+			}
+		}
+		s.steps++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain or Stop is called.
+func (s *Simulator) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunUntil executes events with scheduled time <= t, then advances the clock
+// to exactly t. Events scheduled after t remain pending.
+func (s *Simulator) RunUntil(t time.Duration) {
+	s.stopped = false
+	for !s.stopped {
+		e := s.peek()
+		if e == nil || e.when > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+		if s.onAdvance != nil {
+			s.onAdvance(s.now)
+		}
+	}
+}
+
+func (s *Simulator) peek() *Event {
+	for len(s.events) > 0 {
+		if e := s.events[0]; !e.canceled {
+			return e
+		}
+		heap.Pop(&s.events)
+	}
+	return nil
+}
+
+// eventHeap orders events by (when, seq) so that events at equal times fire
+// in scheduling order, keeping runs deterministic.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

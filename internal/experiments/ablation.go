@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mspastry/internal/harness"
+)
+
+// AblationResult reproduces the §5.3 "Active probing and per-hop acks"
+// experiment: the 2x2 matrix of {active probing, per-hop acks}. Paper
+// numbers: 32% of lookups lost with neither mechanism; 2.8e-5 with acks
+// only; 1.6e-5 with both; active probing alone cannot reach the 1e-5
+// regime. Acks-only also raises RDP (+17% at 0.01 lookups/s, +61% at
+// 0.001) because failures are only discovered by traffic.
+type AblationResult struct {
+	Labels  []string
+	Results map[string]harness.Result
+}
+
+// AblationProbingAcks runs the 2x2 matrix on the Gnutella trace.
+func AblationProbingAcks(s Scale) AblationResult {
+	out := AblationResult{Results: make(map[string]harness.Result)}
+	variants := []struct {
+		label         string
+		probing, acks bool
+	}{
+		{"neither", false, false},
+		{"acks-only", false, true},
+		{"probing-only", true, false},
+		{"both", true, true},
+	}
+	for _, v := range variants {
+		cfg := s.baseConfig("gatech", s.gnutella())
+		cfg.Pastry.ActiveProbing = v.probing
+		cfg.Pastry.PerHopAcks = v.acks
+		out.Labels = append(out.Labels, v.label)
+		out.Results[v.label] = harness.Run(cfg)
+	}
+	return out
+}
+
+// Rows renders the matrix.
+func (r AblationResult) Rows() []Row {
+	var rows []Row
+	for _, label := range r.Labels {
+		rows = append(rows, totalsRow(label, r.Results[label]))
+	}
+	return rows
+}
+
+// AckRDPPenalty reruns the acks-only vs both comparison at a given lookup
+// rate, returning the acks-only RDP divided by the both-mechanisms RDP
+// (the paper's +17%/+61% delay penalty observation).
+func AckRDPPenalty(s Scale, lookupRate float64) float64 {
+	run := func(probing bool) harness.Result {
+		cfg := s.baseConfig("gatech", s.gnutella())
+		cfg.Pastry.ActiveProbing = probing
+		cfg.LookupRate = lookupRate
+		return harness.Run(cfg)
+	}
+	both := run(true)
+	acksOnly := run(false)
+	if both.Totals.RDP == 0 {
+		return 0
+	}
+	return acksOnly.Totals.RDP / both.Totals.RDP
+}
+
+// SelfTuningResult reproduces the self-tuning validation: without per-hop
+// acks, tuning the probing period to a target raw loss rate Lr should
+// achieve a measured loss rate close to the target (paper: 5.3% measured
+// at a 5% target, 1.2% at 1%), and the tighter target should cost a
+// multiple of the control traffic (paper: 2.6x from 5% to 1%).
+type SelfTuningResult struct {
+	Targets []float64
+	Results map[float64]harness.Result
+}
+
+// SelfTuning runs targets of 5% and 1% with per-hop acks disabled, so the
+// raw loss rate is directly observable as the lookup loss rate.
+func SelfTuning(s Scale) SelfTuningResult {
+	out := SelfTuningResult{Results: make(map[float64]harness.Result)}
+	for _, target := range []float64{0.05, 0.01} {
+		cfg := s.baseConfig("gatech", s.gnutella())
+		cfg.Pastry.PerHopAcks = false
+		cfg.Pastry.TargetRawLoss = target
+		out.Targets = append(out.Targets, target)
+		out.Results[target] = harness.Run(cfg)
+	}
+	return out
+}
+
+// Rows renders the targets.
+func (r SelfTuningResult) Rows() []Row {
+	var rows []Row
+	for _, target := range r.Targets {
+		row := totalsRow(fmt.Sprintf("targetLr=%.0f%%", target*100), r.Results[target])
+		row.Values["target"] = target
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// SuppressionResult reproduces the probe-suppression observation: raising
+// application traffic from 0 to 1 lookup/s/node suppresses over 70% of the
+// active probes (paper §5.3 last paragraph).
+type SuppressionResult struct {
+	Rates   []float64
+	Results map[float64]harness.Result
+	// SuppressedFraction is suppressed/(suppressed+sent) probes at each
+	// lookup rate.
+	SuppressedFraction map[float64]float64
+}
+
+// Suppression runs lookup rates of 0, 0.01 and 1 per second per node.
+func Suppression(s Scale) SuppressionResult {
+	out := SuppressionResult{
+		Results:            make(map[float64]harness.Result),
+		SuppressedFraction: make(map[float64]float64),
+	}
+	for _, rate := range []float64{0, 0.01, 1} {
+		cfg := s.baseConfig("gatech", s.gnutella())
+		cfg.LookupRate = rate
+		res := harness.Run(cfg)
+		out.Rates = append(out.Rates, rate)
+		out.Results[rate] = res
+		total := float64(res.Counters.SuppressedProbes + res.Counters.SentRTProbes + res.Counters.SentHeartbeats)
+		if total > 0 {
+			out.SuppressedFraction[rate] = float64(res.Counters.SuppressedProbes) / total
+		}
+	}
+	return out
+}
+
+// Rows renders the suppression sweep.
+func (r SuppressionResult) Rows() []Row {
+	var rows []Row
+	for _, rate := range r.Rates {
+		row := totalsRow(fmt.Sprintf("lookups=%g/s", rate), r.Results[rate])
+		row.Values["suppressed"] = r.SuppressedFraction[rate]
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// ConsistencyRuleResult compares delivery consistency under link loss
+// with and without the hold-on-suspect rule (the paper's remark that
+// consistency can be improved "at the expense of latency" by not routing
+// around a suspected root). With the rule, incorrect deliveries stay at
+// the paper's 1e-5 scale even at 5% link loss; without it they jump by
+// orders of magnitude.
+type ConsistencyRuleResult struct {
+	WithRule, WithoutRule harness.Result
+}
+
+// ConsistencyRule runs the Gnutella trace at 5% link loss both ways.
+func ConsistencyRule(s Scale) ConsistencyRuleResult {
+	run := func(hold bool) harness.Result {
+		cfg := s.baseConfig("gatech", s.gnutella())
+		cfg.NetworkLoss = 0.05
+		cfg.Pastry.HoldOnSuspect = hold
+		return harness.Run(cfg)
+	}
+	return ConsistencyRuleResult{WithRule: run(true), WithoutRule: run(false)}
+}
+
+// Rows renders the comparison.
+func (r ConsistencyRuleResult) Rows() []Row {
+	return []Row{
+		totalsRow("hold-on-suspect", r.WithRule),
+		totalsRow("deliver-immediately", r.WithoutRule),
+	}
+}
+
+// StructuredHeartbeatAblation compares the paper's single-heartbeat-to-
+// left-neighbour design against naive all-pairs leaf-set heartbeats (the
+// design choice that makes Figure 7-left flat in l).
+type StructuredHeartbeatAblation struct {
+	Structured, AllPairs harness.Result
+}
+
+// HeartbeatAblation runs both designs at l=32.
+func HeartbeatAblation(s Scale) StructuredHeartbeatAblation {
+	run := func(structured bool) harness.Result {
+		cfg := s.baseConfig("gatech", s.gnutella())
+		cfg.Pastry.StructuredHeartbeats = structured
+		return harness.Run(cfg)
+	}
+	return StructuredHeartbeatAblation{Structured: run(true), AllPairs: run(false)}
+}
+
+// Rows renders the comparison.
+func (r StructuredHeartbeatAblation) Rows() []Row {
+	return []Row{
+		totalsRow("structured-hb", r.Structured),
+		totalsRow("all-pairs-hb", r.AllPairs),
+	}
+}

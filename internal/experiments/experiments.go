@@ -1,0 +1,147 @@
+// Package experiments defines one runnable experiment per table/figure of
+// the paper's evaluation (§5). Each experiment builds its workload through
+// the harness, runs it, and returns the rows or series the paper plots.
+// The benchmark suite (bench_test.go) runs them at reduced scale; the
+// mspastry-bench command runs them at configurable scale.
+//
+// The paper's absolute numbers came from the authors' testbed and full
+// 2,000-20,000 node populations; we reproduce the *shape* (orderings,
+// ratios, crossovers), not the absolute values. EXPERIMENTS.md records
+// both.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mspastry/internal/harness"
+	"mspastry/internal/trace"
+)
+
+// Scale controls how much the experiments are shrunk relative to the
+// paper's setup.
+type Scale struct {
+	// TopoDiv divides the topology size (1 = paper size).
+	TopoDiv int
+	// TraceDiv divides trace populations (1 = paper size).
+	TraceDiv int
+	// MaxDuration caps trace length (0 = full length).
+	MaxDuration time.Duration
+	// PoissonNodes is the average population for the artificial traces
+	// (paper: 10,000).
+	PoissonNodes int
+	// PoissonDuration is the artificial traces' length.
+	PoissonDuration time.Duration
+	// SetupRamp spreads the warm-start joins.
+	SetupRamp time.Duration
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Quick returns a scale suitable for CI benchmarks: a couple of hundred
+// nodes, about an hour of simulated time per run.
+func Quick() Scale {
+	return Scale{
+		TopoDiv:         8,
+		TraceDiv:        16,
+		MaxDuration:     90 * time.Minute,
+		PoissonNodes:    200,
+		PoissonDuration: time.Hour,
+		SetupRamp:       5 * time.Minute,
+		Seed:            1,
+	}
+}
+
+// Full returns the paper-scale configuration. Running it takes hours of
+// CPU time; use mspastry-bench with explicit flags.
+func Full() Scale {
+	return Scale{
+		TopoDiv:         1,
+		TraceDiv:        1,
+		PoissonNodes:    10000,
+		PoissonDuration: 12 * time.Hour,
+		SetupRamp:       20 * time.Minute,
+		Seed:            1,
+	}
+}
+
+func (s Scale) gnutella() *trace.Trace {
+	return trace.Generate(trace.Gnutella().Scaled(s.TraceDiv, s.MaxDuration))
+}
+
+func (s Scale) overnet() *trace.Trace {
+	// OverNet is already small (1,468 nodes); shrink it less.
+	return trace.Generate(trace.OverNet().Scaled(maxInt(1, s.TraceDiv/4), s.MaxDuration))
+}
+
+func (s Scale) microsoft() *trace.Trace {
+	// Microsoft is the biggest trace (20,000 nodes); shrink it more.
+	return trace.Generate(trace.Microsoft().Scaled(s.TraceDiv*6, s.MaxDuration))
+}
+
+func (s Scale) poisson(session time.Duration) *trace.Trace {
+	return trace.Generate(trace.Poisson(session, s.PoissonNodes, s.PoissonDuration))
+}
+
+// baseConfig returns the paper's base experiment configuration at this
+// scale: b=4, l=32, per-hop acks, self-tuning to Lr=5%, 0.01 lookups/s.
+func (s Scale) baseConfig(topoName string, tr *trace.Trace) harness.Config {
+	topo, err := harness.BuildTopology(topoName, s.TopoDiv, s.Seed)
+	if err != nil {
+		panic(err)
+	}
+	cfg := harness.DefaultConfig(topo, tr)
+	cfg.SetupRamp = s.SetupRamp
+	cfg.Seed = s.Seed
+	return cfg
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Row is one printable result row.
+type Row struct {
+	Label  string
+	Values map[string]float64
+}
+
+// PrintRows renders rows as an aligned table.
+func PrintRows(w io.Writer, title string, cols []string, rows []Row) {
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+	fmt.Fprintf(w, "%-26s", "label")
+	for _, c := range cols {
+		fmt.Fprintf(w, " %13s", c)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-26s", r.Label)
+		for _, c := range cols {
+			fmt.Fprintf(w, " %13.6g", r.Values[c])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// TotalsCols is the standard column set for totals rows.
+var totalsCols = []string{"active", "loss", "incorrect", "rdp", "hops", "ctrl", "trtSec"}
+
+// TotalsCols returns a copy of the standard column names.
+func TotalsCols() []string { return append([]string(nil), totalsCols...) }
+
+// totalsRow converts harness totals into a Row.
+func totalsRow(label string, res harness.Result) Row {
+	return Row{Label: label, Values: map[string]float64{
+		"active":    res.Totals.MeanActive,
+		"loss":      res.Totals.LossRate,
+		"incorrect": res.Totals.IncorrectRate,
+		"rdp":       res.Totals.RDP,
+		"hops":      res.Totals.MeanHops,
+		"ctrl":      res.Totals.ControlPerNodeSec,
+		"trtSec":    res.TrtMedian.Seconds(),
+	}}
+}

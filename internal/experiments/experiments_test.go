@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"mspastry/internal/harness"
+)
+
+// tiny returns the smallest scale that still exhibits the paper's
+// qualitative behaviours, for shape-assertion tests.
+func tiny() Scale {
+	return Scale{
+		TopoDiv:         8,
+		TraceDiv:        48,
+		MaxDuration:     40 * time.Minute,
+		PoissonNodes:    80,
+		PoissonDuration: 40 * time.Minute,
+		SetupRamp:       3 * time.Minute,
+		Seed:            1,
+	}
+}
+
+func TestFig3Shapes(t *testing.T) {
+	r := Fig3FailureRates(tiny())
+	// Microsoft's failure rate is an order of magnitude below Gnutella's.
+	gn, ms := r.MeanRate("gnutella"), r.MeanRate("microsoft")
+	if gn < 5*ms {
+		t.Fatalf("gnutella %.3g not well above microsoft %.3g", gn, ms)
+	}
+	if len(r.Rows()) != 3 {
+		t.Fatal("missing trace rows")
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	s := tiny()
+	r := AblationProbingAcks(s)
+	neither := r.Results["neither"].Totals.LossRate
+	both := r.Results["both"].Totals.LossRate
+	acks := r.Results["acks-only"].Totals.LossRate
+	t.Logf("loss: neither=%.3g acks=%.3g both=%.3g", neither, acks, both)
+	// The paper's headline: without both mechanisms a large fraction of
+	// lookups is lost; with per-hop acks loss collapses.
+	if neither < 10*both+0.005 {
+		t.Fatalf("ablation shape lost: neither=%.3g both=%.3g", neither, both)
+	}
+	if both > 0.01 {
+		t.Fatalf("loss with both mechanisms = %.3g, want <1%%", both)
+	}
+	if acks > 0.01 {
+		t.Fatalf("loss with acks only = %.3g, want <1%%", acks)
+	}
+}
+
+func TestSelfTuningTracksTarget(t *testing.T) {
+	s := tiny()
+	// Faster churn makes the raw loss measurable in a short run.
+	r := SelfTuning(s)
+	l5 := r.Results[0.05].Totals.LossRate
+	l1 := r.Results[0.01].Totals.LossRate
+	t.Logf("raw loss at 5%% target: %.3g; at 1%% target: %.3g", l5, l1)
+	// Tighter target must yield lower raw loss; the 5% target should land
+	// within a small factor of 5% (paper measured 5.3%).
+	if l1 >= l5 && l5 > 0 {
+		t.Fatalf("1%% target (%.3g) not below 5%% target (%.3g)", l1, l5)
+	}
+	if l5 > 0.15 {
+		t.Fatalf("raw loss %.3g far above the 5%% target", l5)
+	}
+	c5 := r.Results[0.05].Totals.ControlPerNodeSec
+	c1 := r.Results[0.01].Totals.ControlPerNodeSec
+	if c1 <= c5 {
+		t.Fatalf("tighter target should cost more control traffic: %.3g vs %.3g", c1, c5)
+	}
+}
+
+func TestSuppressionGrowsWithTraffic(t *testing.T) {
+	r := Suppression(tiny())
+	idle, busy := r.SuppressedFraction[0], r.SuppressedFraction[1]
+	t.Logf("suppressed fraction: idle=%.2f busy=%.2f", idle, busy)
+	if busy <= idle {
+		t.Fatalf("suppression did not grow with lookup traffic: %.2f vs %.2f", busy, idle)
+	}
+	// The paper reports >70% of probes suppressed at 1 lookup/s/node.
+	if busy < 0.5 {
+		t.Fatalf("suppressed fraction at 1 lookup/s = %.2f, want > 0.5", busy)
+	}
+}
+
+func TestStructuredHeartbeatsCheaper(t *testing.T) {
+	r := HeartbeatAblation(tiny())
+	st := r.Structured.Totals.ControlPerNodeSec
+	ap := r.AllPairs.Totals.ControlPerNodeSec
+	t.Logf("control: structured=%.3f all-pairs=%.3f", st, ap)
+	if st >= ap {
+		t.Fatalf("structured heartbeats (%.3f) not cheaper than all-pairs (%.3f)", st, ap)
+	}
+}
+
+func TestSessionTimeControlShape(t *testing.T) {
+	// Shorter sessions (more churn) must cost more control traffic
+	// (Figure 5 centre). Compare two points to keep the test fast.
+	s := tiny()
+	short := harness.Run(s.baseConfig("gatech", s.poisson(15*time.Minute)))
+	long := harness.Run(s.baseConfig("gatech", s.poisson(240*time.Minute)))
+	t.Logf("control: 15m=%.3f 240m=%.3f; Trt: 15m=%v 240m=%v",
+		short.Totals.ControlPerNodeSec, long.Totals.ControlPerNodeSec,
+		short.TrtMedian, long.TrtMedian)
+	if short.Totals.ControlPerNodeSec <= long.Totals.ControlPerNodeSec {
+		t.Fatal("control traffic did not grow with churn")
+	}
+	// Self-tuning must probe faster when churn is higher.
+	if short.TrtMedian >= long.TrtMedian {
+		t.Fatalf("self-tuned Trt did not shrink with churn: %v vs %v",
+			short.TrtMedian, long.TrtMedian)
+	}
+}
+
+func TestNetworkLossShape(t *testing.T) {
+	s := tiny()
+	clean := harness.Run(s.baseConfig("gatech", s.gnutella()))
+	cfg := s.baseConfig("gatech", s.gnutella())
+	cfg.NetworkLoss = 0.05
+	lossy := harness.Run(cfg)
+	t.Logf("clean: %v", clean.Totals)
+	t.Logf("lossy: %v", lossy.Totals)
+	if clean.Totals.IncorrectRate != 0 {
+		t.Fatal("incorrect deliveries without link loss (paper: zero)")
+	}
+	// Per-hop acks keep lookup loss tiny even at 5% link loss.
+	if lossy.Totals.LossRate > 0.01 {
+		t.Fatalf("lookup loss %.3g at 5%% link loss, want <1%%", lossy.Totals.LossRate)
+	}
+	if lossy.Totals.RDP < clean.Totals.RDP {
+		t.Log("note: lossy RDP below clean RDP (noise at this scale)")
+	}
+}
+
+func TestFig8WeekPattern(t *testing.T) {
+	cfg := DefaultFig8Config()
+	cfg.Days = 2
+	cfg.Machines = 30
+	r := Fig8Squirrel(cfg)
+	if r.Requests == 0 {
+		t.Fatal("no web requests replayed")
+	}
+	// Daytime windows must carry clearly more traffic than night windows.
+	var day, night float64
+	var dayN, nightN int
+	for _, w := range r.Windows {
+		hour := w.Start.Hours() - float64(int(w.Start.Hours())/24*24)
+		switch {
+		case hour >= 10 && hour < 16:
+			day += w.TotalPerNodeSec
+			dayN++
+		case hour >= 0 && hour < 6:
+			night += w.TotalPerNodeSec
+			nightN++
+		}
+	}
+	if dayN == 0 || nightN == 0 {
+		t.Fatal("window classification failed")
+	}
+	day /= float64(dayN)
+	night /= float64(nightN)
+	t.Logf("traffic: day=%.4f night=%.4f msgs/node/s", day, night)
+	if day <= night {
+		t.Fatal("no daily traffic pattern in the Squirrel replay")
+	}
+	// The cache must dedupe: origin fetches well below requests.
+	if r.OriginFetches*2 > r.Requests {
+		t.Fatalf("cache ineffective: %d fetches for %d requests", r.OriginFetches, r.Requests)
+	}
+}
+
+func TestFig5JoinLatencyRegime(t *testing.T) {
+	s := tiny()
+	r := Fig5JoinLatency(s)
+	p50 := r.Percentile(30*time.Minute, 0.5)
+	p99 := r.Percentile(30*time.Minute, 0.99)
+	t.Logf("join latency: p50=%v p99=%v", p50, p99)
+	// Paper Figure 5 right: joins complete within tens of seconds.
+	if p50 <= 0 || p50 > 40*time.Second {
+		t.Fatalf("median join latency %v outside the paper's regime", p50)
+	}
+	if p99 > 3*time.Minute {
+		t.Fatalf("p99 join latency %v implausible", p99)
+	}
+}
+
+func TestFig8ValidationAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live UDP validation")
+	}
+	r, err := Fig8Validation(6, 8*time.Second, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sim=%d live=%d ratio=%.2f", r.SimMessages, r.LiveMessages, r.Ratio())
+	if r.Ratio() < 0.6 || r.Ratio() > 1.6 {
+		t.Fatalf("simulator and deployment disagree: ratio %.2f", r.Ratio())
+	}
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"time"
+
+	"mspastry/internal/trace"
+)
+
+// Fig3Result is the node-failure-rate time series of the paper's Figure 3,
+// one series per trace.
+type Fig3Result struct {
+	Series map[string][]trace.WindowStat
+}
+
+// Fig3FailureRates reproduces Figure 3: node failures per node per second
+// over time for the Gnutella, OverNet and Microsoft traces, averaged over
+// 10-minute windows (1 hour for Microsoft).
+func Fig3FailureRates(s Scale) Fig3Result {
+	return Fig3Result{Series: map[string][]trace.WindowStat{
+		"gnutella":  s.gnutella().Windows(10 * time.Minute),
+		"overnet":   s.overnet().Windows(10 * time.Minute),
+		"microsoft": s.microsoft().Windows(time.Hour),
+	}}
+}
+
+// MeanRate returns the average failure rate of a series.
+func (r Fig3Result) MeanRate(name string) float64 {
+	ws := r.Series[name]
+	var sum float64
+	var n int
+	for _, w := range ws {
+		if w.Active > 0 {
+			sum += w.FailureRate
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// PeakToTrough returns max/min of the positive failure rates, a measure of
+// the daily/weekly pattern the figure shows.
+func (r Fig3Result) PeakToTrough(name string) float64 {
+	ws := r.Series[name]
+	lo, hi := 0.0, 0.0
+	for _, w := range ws {
+		if w.FailureRate <= 0 {
+			continue
+		}
+		if lo == 0 || w.FailureRate < lo {
+			lo = w.FailureRate
+		}
+		if w.FailureRate > hi {
+			hi = w.FailureRate
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return hi / lo
+}
+
+// Rows summarises the three series for printing.
+func (r Fig3Result) Rows() []Row {
+	var rows []Row
+	for _, name := range []string{"gnutella", "overnet", "microsoft"} {
+		rows = append(rows, Row{Label: name, Values: map[string]float64{
+			"meanRate":     r.MeanRate(name),
+			"peakToTrough": r.PeakToTrough(name),
+		}})
+	}
+	return rows
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"time"
+
+	"mspastry/internal/harness"
+	"mspastry/internal/pastry"
+	"mspastry/internal/stats"
+	"mspastry/internal/trace"
+)
+
+// Fig4Result reproduces Figure 4: RDP and control traffic over normalized
+// time for the three real-world traces, plus the control-traffic breakdown
+// by message type for the Gnutella trace (the right-hand graph).
+type Fig4Result struct {
+	Windows map[string][]stats.WindowStat
+	Totals  map[string]harness.Result
+}
+
+// Fig4Traces runs the three traces with the base configuration.
+func Fig4Traces(s Scale) Fig4Result {
+	out := Fig4Result{
+		Windows: make(map[string][]stats.WindowStat, 3),
+		Totals:  make(map[string]harness.Result, 3),
+	}
+	run := func(name string, tr *trace.Trace) {
+		cfg := s.baseConfig("gatech", tr)
+		if name == "microsoft" {
+			cfg.Window = time.Hour
+		}
+		res := harness.Run(cfg)
+		out.Windows[name] = res.Windows
+		out.Totals[name] = res
+	}
+	run("gnutella", s.gnutella())
+	run("overnet", s.overnet())
+	run("microsoft", s.microsoft())
+	return out
+}
+
+// Rows summarises per-trace totals.
+func (r Fig4Result) Rows() []Row {
+	var rows []Row
+	for _, name := range []string{"gnutella", "overnet", "microsoft"} {
+		rows = append(rows, totalsRow(name, r.Totals[name]))
+	}
+	return rows
+}
+
+// BreakdownRows renders the Gnutella control-traffic breakdown by message
+// category (the paper's Figure 4 right).
+func (r Fig4Result) BreakdownRows() []Row {
+	res := r.Totals["gnutella"]
+	var rows []Row
+	for _, cat := range []pastry.Category{
+		pastry.CatDistance, pastry.CatLeafSet, pastry.CatRTProbe, pastry.CatAck, pastry.CatJoin,
+	} {
+		rows = append(rows, Row{Label: cat.String(), Values: map[string]float64{
+			"msgsPerNodeSec": res.Totals.ByCategory[cat],
+		}})
+	}
+	return rows
+}
+
+// RDPFlatness returns max/min of per-window RDP for a trace — self-tuning
+// keeps it near 1 despite the daily churn waves.
+func (r Fig4Result) RDPFlatness(name string) float64 {
+	lo, hi := 0.0, 0.0
+	for _, w := range r.Windows[name] {
+		if w.RDP <= 0 {
+			continue
+		}
+		if lo == 0 || w.RDP < lo {
+			lo = w.RDP
+		}
+		if w.RDP > hi {
+			hi = w.RDP
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return hi / lo
+}

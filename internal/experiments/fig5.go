@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"mspastry/internal/harness"
+	"mspastry/internal/stats"
+)
+
+// Fig5SessionSweep reproduces Figure 5 (left and centre): RDP and control
+// traffic for the Poisson traces with session times of 5, 15, 30, 60, 120
+// and 600 minutes. Paper shape: control traffic rises steeply as sessions
+// shrink (~22x from 600 to 15 minutes, dipping again at 5 because nodes
+// die before activating); RDP stays roughly flat down to one-hour sessions
+// and rises sharply at 5 minutes.
+type Fig5SessionSweep struct {
+	Sessions []time.Duration
+	Results  map[time.Duration]harness.Result
+}
+
+// SessionTimes is the paper's sweep.
+var sessionTimes = []time.Duration{
+	5 * time.Minute, 15 * time.Minute, 30 * time.Minute,
+	60 * time.Minute, 120 * time.Minute, 600 * time.Minute,
+}
+
+// SessionTimes returns the paper's session-time sweep.
+func SessionTimes() []time.Duration {
+	return append([]time.Duration(nil), sessionTimes...)
+}
+
+// Fig5SessionTimes runs the sweep.
+func Fig5SessionTimes(s Scale) Fig5SessionSweep {
+	out := Fig5SessionSweep{Results: make(map[time.Duration]harness.Result)}
+	for _, session := range sessionTimes {
+		out.Sessions = append(out.Sessions, session)
+		cfg := s.baseConfig("gatech", s.poisson(session))
+		out.Results[session] = harness.Run(cfg)
+	}
+	return out
+}
+
+// Rows renders the sweep.
+func (r Fig5SessionSweep) Rows() []Row {
+	var rows []Row
+	for _, session := range r.Sessions {
+		row := totalsRow(fmt.Sprintf("session=%v", session), r.Results[session])
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// ControlRatio returns control traffic at session a over session b.
+func (r Fig5SessionSweep) ControlRatio(a, b time.Duration) float64 {
+	rb := r.Results[b].Totals.ControlPerNodeSec
+	if rb == 0 {
+		return 0
+	}
+	return r.Results[a].Totals.ControlPerNodeSec / rb
+}
+
+// Fig5JoinCDF reproduces Figure 5 (right): the cumulative distribution of
+// join latency for the 5-minute and 30-minute Poisson traces. The paper
+// shows nodes joining within tens of seconds.
+type Fig5JoinCDF struct {
+	CDFs map[time.Duration][]stats.CDFPoint
+}
+
+// Fig5JoinLatency runs the two join-latency traces.
+func Fig5JoinLatency(s Scale) Fig5JoinCDF {
+	out := Fig5JoinCDF{CDFs: make(map[time.Duration][]stats.CDFPoint, 2)}
+	for _, session := range []time.Duration{5 * time.Minute, 30 * time.Minute} {
+		cfg := s.baseConfig("gatech", s.poisson(session))
+		res := harness.Run(cfg)
+		out.CDFs[session] = res.JoinCDF
+	}
+	return out
+}
+
+// Percentile returns the join latency at the given cumulative fraction.
+func (r Fig5JoinCDF) Percentile(session time.Duration, p float64) time.Duration {
+	cdf := r.CDFs[session]
+	for _, pt := range cdf {
+		if pt.Fraction >= p {
+			return pt.Latency
+		}
+	}
+	if len(cdf) == 0 {
+		return 0
+	}
+	return cdf[len(cdf)-1].Latency
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mspastry/internal/harness"
+)
+
+// Fig7LeafSetResult reproduces Figure 7 (left and centre): control traffic
+// and RDP as the leaf set size l varies from 8 to 64. Paper shape: thanks
+// to structured heartbeats, control traffic grows only slightly with l
+// (+7% from l=16 to l=32), while larger leaf sets shorten routes and
+// reduce RDP.
+type Fig7LeafSetResult struct {
+	Ls      []int
+	Results map[int]harness.Result
+}
+
+var leafSetSizes = []int{8, 16, 24, 32, 48, 64}
+
+// Fig7LeafSet runs the l sweep on the Gnutella trace.
+func Fig7LeafSet(s Scale) Fig7LeafSetResult {
+	out := Fig7LeafSetResult{Results: make(map[int]harness.Result)}
+	for _, l := range leafSetSizes {
+		out.Ls = append(out.Ls, l)
+		cfg := s.baseConfig("gatech", s.gnutella())
+		cfg.Pastry.L = l
+		out.Results[l] = harness.Run(cfg)
+	}
+	return out
+}
+
+// Rows renders the sweep.
+func (r Fig7LeafSetResult) Rows() []Row {
+	var rows []Row
+	for _, l := range r.Ls {
+		rows = append(rows, totalsRow(fmt.Sprintf("l=%d", l), r.Results[l]))
+	}
+	return rows
+}
+
+// Fig7DigitsResult reproduces Figure 7 (right): RDP as b varies from 1 to
+// 5 digit bits. Paper shape: RDP grows markedly as b shrinks because the
+// expected hop count (2^b-1)/2^b*log_2^b(N) grows; control traffic falls
+// only slightly because per-hop acks and probing grow with the hop count.
+type Fig7DigitsResult struct {
+	Bs      []int
+	Results map[int]harness.Result
+}
+
+var digitBits = []int{1, 2, 3, 4, 5}
+
+// Fig7Digits runs the b sweep on the Gnutella trace.
+func Fig7Digits(s Scale) Fig7DigitsResult {
+	out := Fig7DigitsResult{Results: make(map[int]harness.Result)}
+	for _, b := range digitBits {
+		out.Bs = append(out.Bs, b)
+		cfg := s.baseConfig("gatech", s.gnutella())
+		cfg.Pastry.B = b
+		out.Results[b] = harness.Run(cfg)
+	}
+	return out
+}
+
+// Rows renders the sweep.
+func (r Fig7DigitsResult) Rows() []Row {
+	var rows []Row
+	for _, b := range r.Bs {
+		rows = append(rows, totalsRow(fmt.Sprintf("b=%d", b), r.Results[b]))
+	}
+	return rows
+}

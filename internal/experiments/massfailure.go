@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"mspastry/internal/eventsim"
+	"mspastry/internal/id"
+	"mspastry/internal/netmodel"
+	"mspastry/internal/pastry"
+	"mspastry/internal/topology"
+)
+
+// MassFailureResult measures recovery from a massive correlated failure —
+// the scenario behind the paper's generalised leaf-set repair: "it
+// converges in O(log N) iterations even when a large fraction of overlay
+// nodes fails simultaneously" (§3.1).
+type MassFailureResult struct {
+	Nodes  int
+	Killed int
+	// RecoveryTime is the virtual time from the failure instant until
+	// every survivor's leaf set is complete and every survivor's ring
+	// neighbours match the ground truth.
+	RecoveryTime time.Duration
+	// Recovered reports whether the overlay healed within the deadline.
+	Recovered bool
+	// ProbeMessages counts leaf-set messages sent during recovery.
+	ProbeMessages int
+}
+
+// MassFailureConfig parameterises the experiment.
+type MassFailureConfig struct {
+	Nodes        int
+	KillFraction float64
+	Deadline     time.Duration
+	Seed         int64
+}
+
+// DefaultMassFailureConfig kills half of a 120-node overlay.
+func DefaultMassFailureConfig() MassFailureConfig {
+	return MassFailureConfig{Nodes: 120, KillFraction: 0.5, Deadline: 15 * time.Minute, Seed: 1}
+}
+
+// MassFailure builds a stable overlay, kills a fraction of it in one
+// instant, and measures how long the survivors take to restore a globally
+// consistent ring.
+func MassFailure(cfg MassFailureConfig) MassFailureResult {
+	res, _, _ := massFailureCore(cfg)
+	return res
+}
+
+func massFailureCore(cfg MassFailureConfig) (MassFailureResult, []*pastry.Node, *eventsim.Simulator) {
+	sim := eventsim.New(cfg.Seed)
+	topo := topology.CorpNet(topology.DefaultCorpNet(), rand.New(rand.NewSource(cfg.Seed)))
+	nw := netmodel.New(sim, topo, 0)
+
+	pcfg := pastry.DefaultConfig()
+	pcfg.L = 16
+	pcfg.PNS = false
+
+	leafMsgs := 0
+	counting := false
+	nw.OnSend(func(_ *netmodel.Endpoint, _ pastry.NodeRef, m pastry.Message) {
+		if counting && m.Category() == pastry.CatLeafSet {
+			leafMsgs++
+		}
+	})
+
+	first := topo.Attach(cfg.Nodes, sim.Rand())
+	var nodes []*pastry.Node
+	var eps []*netmodel.Endpoint
+	var seed pastry.NodeRef
+	for i := 0; i < cfg.Nodes; i++ {
+		ep := nw.NewEndpoint(first + i)
+		ref := pastry.NodeRef{ID: id.Random(sim.Rand()), Addr: ep.Addr()}
+		node, err := pastry.NewNode(ref, pcfg, ep, nil)
+		if err != nil {
+			panic(err)
+		}
+		ep.Bind(node)
+		if i == 0 {
+			node.Bootstrap()
+			seed = ref
+		} else {
+			node.Join(seed)
+		}
+		nodes = append(nodes, node)
+		eps = append(eps, ep)
+		sim.RunUntil(sim.Now() + 2*time.Second)
+	}
+	sim.RunUntil(sim.Now() + 5*time.Minute) // settle
+
+	// Kill a random fraction in one instant.
+	perm := rand.New(rand.NewSource(cfg.Seed + 1)).Perm(cfg.Nodes)
+	kill := int(float64(cfg.Nodes) * cfg.KillFraction)
+	dead := make(map[int]bool, kill)
+	for _, idx := range perm[:kill] {
+		if idx == 0 && kill < cfg.Nodes {
+			continue // keep at least the bootstrap node deterministic
+		}
+		eps[idx].Fail()
+		dead[idx] = true
+		if len(dead) >= kill {
+			break
+		}
+	}
+	counting = true
+	failAt := sim.Now()
+
+	res := MassFailureResult{Nodes: cfg.Nodes, Killed: len(dead)}
+	var survivors []*pastry.Node
+	for i, n := range nodes {
+		if !dead[i] {
+			survivors = append(survivors, n)
+		}
+	}
+
+	// Step the simulation and poll for global ring consistency.
+	deadline := failAt + cfg.Deadline
+	for sim.Now() < deadline {
+		sim.RunUntil(sim.Now() + 10*time.Second)
+		if ringConsistent(survivors) {
+			res.Recovered = true
+			res.RecoveryTime = sim.Now() - failAt
+			break
+		}
+	}
+	res.ProbeMessages = leafMsgs
+	return res, survivors, sim
+}
+
+// ringConsistent checks that every survivor's leaf set is complete and its
+// ring neighbours match the ground truth among survivors.
+func ringConsistent(nodes []*pastry.Node) bool {
+	ids := make([]id.ID, 0, len(nodes))
+	for _, n := range nodes {
+		if !n.Active() {
+			return false
+		}
+		ids = append(ids, n.Ref().ID)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Cmp(ids[j]) < 0 })
+	pos := make(map[id.ID]int, len(ids))
+	for i, x := range ids {
+		pos[x] = i
+	}
+	for _, n := range nodes {
+		if !n.Leaf().Complete() {
+			return false
+		}
+		i := pos[n.Ref().ID]
+		wantRight := ids[(i+1)%len(ids)]
+		wantLeft := ids[(i-1+len(ids))%len(ids)]
+		right, okR := n.Leaf().RightNeighbour()
+		left, okL := n.Leaf().LeftNeighbour()
+		if !okR || !okL || right.ID != wantRight || left.ID != wantLeft {
+			return false
+		}
+	}
+	return true
+}

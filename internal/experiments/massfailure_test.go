@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMassFailureRecovery(t *testing.T) {
+	cfg := DefaultMassFailureConfig()
+	cfg.Nodes = 60
+	cfg.Deadline = 20 * time.Minute
+	r := MassFailure(cfg)
+	t.Logf("killed %d/%d; recovered=%v in %v with %d leaf msgs",
+		r.Killed, r.Nodes, r.Recovered, r.RecoveryTime, r.ProbeMessages)
+	if !r.Recovered {
+		t.Fatal("overlay did not heal from a 50% correlated failure")
+	}
+	if r.RecoveryTime > 10*time.Minute {
+		t.Fatalf("recovery took %v", r.RecoveryTime)
+	}
+}
+
+func TestMassFailureRecoveryLarger(t *testing.T) {
+	if testing.Short() {
+		t.Skip("larger soak")
+	}
+	cfg := DefaultMassFailureConfig() // 120 nodes, 50% killed
+	cfg.Deadline = 20 * time.Minute
+	r := MassFailure(cfg)
+	t.Logf("killed %d/%d; recovered=%v in %v", r.Killed, r.Nodes, r.Recovered, r.RecoveryTime)
+	if !r.Recovered {
+		t.Fatal("120-node overlay did not heal from a 50% correlated failure")
+	}
+}

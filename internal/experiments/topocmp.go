@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"mspastry/internal/harness"
+)
+
+// TopoCmpResult holds the §5.3 "Network topology" comparison: RDP, loss
+// and control traffic for CorpNet, GATech and Mercator under the Gnutella
+// trace. Paper values: RDP 1.45 / 1.80 / 2.12, control traffic
+// 0.239 / 0.245 / 0.256 msg/s/node, loss below 1.6e-5 everywhere.
+type TopoCmpResult struct {
+	Results map[string]harness.Result
+}
+
+// TopologyComparison runs the Gnutella trace on the three topologies.
+func TopologyComparison(s Scale) TopoCmpResult {
+	out := TopoCmpResult{Results: make(map[string]harness.Result, 3)}
+	for _, name := range []string{"corpnet", "gatech", "mercator"} {
+		cfg := s.baseConfig(name, s.gnutella())
+		out.Results[name] = harness.Run(cfg)
+	}
+	return out
+}
+
+// Rows renders the comparison.
+func (r TopoCmpResult) Rows() []Row {
+	var rows []Row
+	for _, name := range []string{"corpnet", "gatech", "mercator"} {
+		rows = append(rows, totalsRow(name, r.Results[name]))
+	}
+	return rows
+}
+
+// RDPOrderingHolds reports whether the paper's topology ordering
+// (CorpNet < GATech < Mercator) is reproduced.
+func (r TopoCmpResult) RDPOrderingHolds() bool {
+	return r.Results["corpnet"].Totals.RDP < r.Results["gatech"].Totals.RDP &&
+		r.Results["gatech"].Totals.RDP < r.Results["mercator"].Totals.RDP
+}

@@ -1,0 +1,395 @@
+// Package harness runs MSPastry evaluation experiments: it builds a
+// topology, drives a churn trace through a simulated overlay with
+// fault injection, generates lookup traffic, checks every delivery against
+// the ground-truth root, and produces the windowed metrics the paper plots.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"mspastry/internal/eventsim"
+	"mspastry/internal/id"
+	"mspastry/internal/netmodel"
+	"mspastry/internal/pastry"
+	"mspastry/internal/stats"
+	"mspastry/internal/topology"
+	"mspastry/internal/trace"
+)
+
+// Config describes one simulation experiment.
+type Config struct {
+	// Topo is the network topology (required; see BuildTopology).
+	Topo *topology.Network
+	// Trace is the churn schedule (required).
+	Trace *trace.Trace
+	// Pastry is the protocol configuration.
+	Pastry pastry.Config
+	// LookupRate is application lookups per second per active node
+	// (paper base: 0.01, Poisson, keys uniform).
+	LookupRate float64
+	// NetworkLoss is the uniform message loss probability.
+	NetworkLoss float64
+	// Window is the metric averaging window (paper: 10 min, or 1 h for
+	// the Microsoft trace).
+	Window time.Duration
+	// SetupRamp spreads the trace's initially-active nodes' joins over
+	// this interval before measurement starts.
+	SetupRamp time.Duration
+	// LossTimeout is how long a lookup may remain undelivered before it
+	// counts as lost.
+	LossTimeout time.Duration
+	// Seed seeds all randomness (ids, lookup keys, loss).
+	Seed int64
+}
+
+// DefaultConfig returns the paper's base experimental configuration for
+// the given topology and trace.
+func DefaultConfig(topo *topology.Network, tr *trace.Trace) Config {
+	return Config{
+		Topo:        topo,
+		Trace:       tr,
+		Pastry:      pastry.DefaultConfig(),
+		LookupRate:  0.01,
+		Window:      10 * time.Minute,
+		SetupRamp:   2 * time.Minute,
+		LossTimeout: time.Minute,
+		Seed:        1,
+	}
+}
+
+// Result carries everything an experiment produces.
+type Result struct {
+	Windows []stats.WindowStat
+	Totals  stats.Totals
+	JoinCDF []stats.CDFPoint
+	// Aggregated protocol counters over all node instances.
+	Counters pastry.Counters
+	// NetworkDrops counts messages lost to injected link loss.
+	NetworkDrops uint64
+	// SimEvents is the number of simulator events executed.
+	SimEvents uint64
+	// DropsByReason counts explicit lookup drops by protocol reason;
+	// TimeoutLost counts lookups that silently never arrived.
+	DropsByReason map[pastry.DropReason]int
+	TimeoutLost   int
+	// TrtMedian samples the self-tuned probing period at the end of the
+	// run (median over live nodes).
+	TrtMedian time.Duration
+}
+
+// Run executes the experiment.
+func Run(cfg Config) Result {
+	r := newRun(cfg)
+	return r.execute()
+}
+
+type run struct {
+	cfg   Config
+	sim   *eventsim.Simulator
+	nw    *netmodel.Network
+	col   *stats.Collector
+	setup time.Duration
+
+	slots  []*slot
+	active *ring
+
+	outstanding map[lookupKey]*outstandingLookup
+
+	counters    pastry.Counters
+	dropReasons map[pastry.DropReason]int
+	timeoutLost int
+}
+
+type slot struct {
+	ep   *netmodel.Endpoint
+	node *pastry.Node
+}
+
+type lookupKey struct {
+	origin string
+	seq    uint64
+}
+
+type outstandingLookup struct {
+	key     id.ID
+	issued  time.Duration // measured-time (relative to setup end)
+	originE int
+}
+
+func newRun(cfg Config) *run {
+	if cfg.Topo == nil || cfg.Trace == nil {
+		panic("harness: Topo and Trace are required")
+	}
+	if cfg.LossTimeout <= 0 {
+		cfg.LossTimeout = time.Minute
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 10 * time.Minute
+	}
+	sim := eventsim.New(cfg.Seed)
+	nw := netmodel.New(sim, cfg.Topo, cfg.NetworkLoss)
+	r := &run{
+		cfg:         cfg,
+		sim:         sim,
+		nw:          nw,
+		col:         stats.NewCollector(cfg.Trace.Duration, cfg.Window),
+		setup:       cfg.SetupRamp,
+		active:      &ring{},
+		outstanding: make(map[lookupKey]*outstandingLookup),
+		slots:       make([]*slot, cfg.Trace.Nodes),
+		dropReasons: make(map[pastry.DropReason]int),
+	}
+	first := cfg.Topo.Attach(cfg.Trace.Nodes, sim.Rand())
+	for i := range r.slots {
+		r.slots[i] = &slot{ep: nw.NewEndpoint(first + i)}
+	}
+	nw.OnSend(func(from *netmodel.Endpoint, to pastry.NodeRef, m pastry.Message) {
+		r.col.MsgSent(r.measured(), m.Category())
+	})
+	return r
+}
+
+// measured returns the current time relative to the start of measurement.
+func (r *run) measured() time.Duration { return r.sim.Now() - r.setup }
+
+func (r *run) execute() Result {
+	cfg := r.cfg
+	rng := r.sim.Rand()
+
+	// Setup phase: the initially-active nodes join over the ramp.
+	initial := append([]int(nil), cfg.Trace.Initial...)
+	if len(initial) == 0 && len(cfg.Trace.Events) > 0 {
+		// Open-world trace with no warm start: first join bootstraps.
+	}
+	for i, slotIdx := range initial {
+		slotIdx := slotIdx
+		if i == 0 {
+			r.sim.At(0, func() { r.startNode(slotIdx, true) })
+			continue
+		}
+		at := time.Duration(rng.Int63n(int64(r.setup)))
+		r.sim.At(at, func() { r.startNode(slotIdx, false) })
+	}
+
+	// Churn injection: trace events shifted by the setup ramp.
+	for _, ev := range cfg.Trace.Events {
+		ev := ev
+		at := r.setup + ev.At
+		switch ev.Kind {
+		case trace.Join:
+			r.sim.At(at, func() { r.startNode(ev.Node, false) })
+		case trace.Leave:
+			r.sim.At(at, func() { r.failNode(ev.Node) })
+		}
+	}
+
+	// Loss sweeper.
+	var sweep func()
+	sweep = func() {
+		r.sweepLost()
+		r.sim.After(cfg.LossTimeout/2, sweep)
+	}
+	r.sim.After(cfg.LossTimeout, sweep)
+
+	r.sim.RunUntil(r.setup + cfg.Trace.Duration)
+
+	// Final sweep: anything still outstanding past the timeout is lost.
+	r.sweepLost()
+
+	res := Result{
+		Windows:       r.col.Finalize(),
+		Totals:        r.col.Totals(),
+		JoinCDF:       r.col.JoinLatencyCDF(),
+		NetworkDrops:  r.nw.Drops,
+		SimEvents:     r.sim.Steps(),
+		DropsByReason: r.dropReasons,
+		TimeoutLost:   r.timeoutLost,
+	}
+	var trts []time.Duration
+	for _, s := range r.slots {
+		if s.node != nil && s.node.Alive() {
+			r.absorbCounters(s.node)
+			if s.node.Active() {
+				trts = append(trts, s.node.Trt())
+			}
+		}
+	}
+	sort.Slice(trts, func(i, j int) bool { return trts[i] < trts[j] })
+	if len(trts) > 0 {
+		res.TrtMedian = trts[len(trts)/2]
+	}
+	res.Counters = r.counters
+	return res
+}
+
+// startNode creates a fresh node instance on the slot's endpoint and joins
+// it to the overlay (or bootstraps the very first overlay member).
+func (r *run) startNode(slotIdx int, bootstrap bool) {
+	s := r.slots[slotIdx]
+	if s.node != nil && s.node.Alive() {
+		return // duplicate join in trace; ignore
+	}
+	self := pastry.NodeRef{ID: id.Random(r.sim.Rand()), Addr: s.ep.Addr()}
+	node, err := pastry.NewNode(self, r.cfg.Pastry, s.ep, (*runObserver)(r))
+	if err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
+	}
+	node.SetSeedSource(func() (pastry.NodeRef, bool) { return r.randomActiveRef() })
+	s.node = node
+	s.ep.Bind(node)
+	if bootstrap || r.active.len() == 0 {
+		node.Bootstrap()
+		return
+	}
+	if seed, ok := r.randomActiveRef(); ok {
+		node.Join(seed)
+	} else {
+		node.Bootstrap()
+	}
+}
+
+// failNode crashes the node currently bound to the slot.
+func (r *run) failNode(slotIdx int) {
+	s := r.slots[slotIdx]
+	if s.node == nil || !s.node.Alive() {
+		return
+	}
+	wasActive := s.node.Active()
+	r.absorbCounters(s.node)
+	s.ep.Fail()
+	if wasActive {
+		r.active.remove(s.node.Ref().ID)
+		r.col.ActiveChanged(r.measured(), -1)
+	}
+}
+
+func (r *run) absorbCounters(n *pastry.Node) {
+	c := n.Stats()
+	r.counters.SuppressedProbes += c.SuppressedProbes
+	r.counters.SentRTProbes += c.SentRTProbes
+	r.counters.SentHeartbeats += c.SentHeartbeats
+	r.counters.Retransmits += c.Retransmits
+	r.counters.FalsePositives += c.FalsePositives
+	r.counters.DeliveredLookups += c.DeliveredLookups
+}
+
+func (r *run) randomActiveRef() (pastry.NodeRef, bool) {
+	e, ok := r.active.random(r.sim.Rand())
+	if !ok {
+		return pastry.NodeRef{}, false
+	}
+	s := r.slots[e.slot]
+	if s.node == nil {
+		return pastry.NodeRef{}, false
+	}
+	return s.node.Ref(), true
+}
+
+// scheduleLookups runs the Poisson lookup generator for a node.
+func (r *run) scheduleLookups(n *pastry.Node) {
+	if r.cfg.LookupRate <= 0 {
+		return
+	}
+	mean := 1 / r.cfg.LookupRate
+	var fire func()
+	fire = func() {
+		if !n.Alive() {
+			return
+		}
+		key := id.Random(r.sim.Rand())
+		seq, ok := n.Lookup(key, nil)
+		if ok {
+			lk := lookupKey{origin: n.Ref().Addr, seq: seq}
+			r.outstanding[lk] = &outstandingLookup{
+				key:     key,
+				issued:  r.measured(),
+				originE: mustAtoi(n.Ref().Addr),
+			}
+			r.col.LookupIssued(r.measured())
+		}
+		r.sim.After(expDuration(r.sim, mean), fire)
+	}
+	r.sim.After(expDuration(r.sim, mean), fire)
+}
+
+func (r *run) slotBase() int { return r.slots[0].ep.Index() }
+
+func mustAtoi(s string) int {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		panic("harness: bad endpoint addr " + s)
+	}
+	return v
+}
+
+func expDuration(sim *eventsim.Simulator, meanSec float64) time.Duration {
+	return time.Duration(sim.Rand().ExpFloat64() * meanSec * float64(time.Second))
+}
+
+// sweepLost marks outstanding lookups older than the loss timeout as lost.
+func (r *run) sweepLost() {
+	now := r.measured()
+	for k, o := range r.outstanding {
+		if now-o.issued >= r.cfg.LossTimeout {
+			if o.issued >= 0 {
+				r.col.LookupLost(o.issued)
+				r.timeoutLost++
+			}
+			delete(r.outstanding, k)
+		}
+	}
+}
+
+// runObserver adapts *run to pastry.Observer.
+type runObserver run
+
+// Activated implements pastry.Observer: the node enters the ground-truth
+// active set and starts generating lookups.
+func (o *runObserver) Activated(n *pastry.Node, joinLatency time.Duration) {
+	r := (*run)(o)
+	slotIdx := mustAtoi(n.Ref().Addr) - r.slotBase()
+	r.active.insert(n.Ref().ID, slotIdx)
+	r.col.ActiveChanged(r.measured(), +1)
+	if r.measured() >= 0 {
+		r.col.JoinLatency(joinLatency)
+	}
+	r.scheduleLookups(n)
+}
+
+// Delivered implements pastry.Observer: judge the delivery against the
+// ground-truth root and record RDP.
+func (o *runObserver) Delivered(n *pastry.Node, lk *pastry.Lookup) {
+	r := (*run)(o)
+	k := lookupKey{origin: lk.Origin.Addr, seq: lk.Seq}
+	out, ok := r.outstanding[k]
+	if !ok {
+		return // duplicate delivery, or issued before measurement
+	}
+	delete(r.outstanding, k)
+	rootEntry, haveRoot := r.active.closest(out.key)
+	correct := haveRoot && rootEntry.id == n.Ref().ID
+	var netDelay time.Duration
+	if haveRoot {
+		rootEp := r.slots[rootEntry.slot].ep.Index()
+		netDelay = r.cfg.Topo.Delay(out.originE, rootEp)
+	}
+	r.col.LookupDelivered(out.issued, correct, r.measured()-out.issued, netDelay, lk.Hops)
+}
+
+// LookupDropped implements pastry.Observer.
+func (o *runObserver) LookupDropped(n *pastry.Node, lk *pastry.Lookup, reason pastry.DropReason) {
+	r := (*run)(o)
+	k := lookupKey{origin: lk.Origin.Addr, seq: lk.Seq}
+	out, ok := r.outstanding[k]
+	if !ok {
+		return
+	}
+	delete(r.outstanding, k)
+	if out.issued >= 0 {
+		r.col.LookupLost(out.issued)
+		r.dropReasons[reason]++
+	}
+}

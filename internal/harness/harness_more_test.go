@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"mspastry/internal/pastry"
+	"mspastry/internal/trace"
+)
+
+func TestDropAccountingMatchesLossTotals(t *testing.T) {
+	// Under heavy link loss with acks disabled, lost lookups must be
+	// accounted either as explicit drops or timeout losses — and the sum
+	// must equal the collector's Lost count.
+	topo, err := BuildTopology("gatech", 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.Generate(trace.Poisson(time.Hour, 50, 30*time.Minute))
+	cfg := DefaultConfig(topo, tr)
+	cfg.SetupRamp = time.Minute
+	cfg.NetworkLoss = 0.10
+	cfg.Pastry.PerHopAcks = false
+	res := Run(cfg)
+	explicit := 0
+	for _, v := range res.DropsByReason {
+		explicit += v
+	}
+	if res.Totals.Lost != explicit+res.TimeoutLost {
+		t.Fatalf("lost=%d but drops=%d + timeouts=%d", res.Totals.Lost, explicit, res.TimeoutLost)
+	}
+	if res.Totals.Lost == 0 {
+		t.Fatal("10%% loss without acks should lose lookups")
+	}
+}
+
+func TestWindowsSumToTotals(t *testing.T) {
+	topo, err := BuildTopology("corpnet", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.Generate(trace.Poisson(time.Hour, 50, 30*time.Minute))
+	cfg := DefaultConfig(topo, tr)
+	cfg.SetupRamp = time.Minute
+	cfg.Window = 5 * time.Minute
+	res := Run(cfg)
+	issued := 0
+	for _, w := range res.Windows {
+		issued += w.Issued
+	}
+	if issued != res.Totals.Issued {
+		t.Fatalf("window issued sum %d != totals %d", issued, res.Totals.Issued)
+	}
+}
+
+func TestNoLookupsZeroRate(t *testing.T) {
+	topo, err := BuildTopology("corpnet", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.Generate(trace.Poisson(time.Hour, 40, 20*time.Minute))
+	cfg := DefaultConfig(topo, tr)
+	cfg.SetupRamp = time.Minute
+	cfg.LookupRate = 0
+	res := Run(cfg)
+	if res.Totals.Issued != 0 {
+		t.Fatalf("issued %d lookups at rate 0", res.Totals.Issued)
+	}
+	// Control traffic still flows (maintenance).
+	if res.Totals.ControlPerNodeSec == 0 {
+		t.Fatal("no control traffic with idle overlay")
+	}
+}
+
+func TestAblationConfigsPropagate(t *testing.T) {
+	// A run with acks and probing disabled must show zero acks and zero
+	// RT probes in the traffic breakdown.
+	topo, err := BuildTopology("corpnet", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.Generate(trace.Poisson(2*time.Hour, 40, 20*time.Minute))
+	cfg := DefaultConfig(topo, tr)
+	cfg.SetupRamp = time.Minute
+	cfg.Pastry.PerHopAcks = false
+	cfg.Pastry.ActiveProbing = false
+	res := Run(cfg)
+	// Join requests always use per-hop acks (a lost join is costly), so a
+	// trickle of ack traffic remains; lookup acks must be gone.
+	if got := res.Totals.ByCategory[pastry.CatAck]; got > 0.01 {
+		t.Fatalf("ack traffic %v despite PerHopAcks=false (join acks alone should be tiny)", got)
+	}
+	if res.Counters.SentRTProbes != 0 {
+		t.Fatalf("RT probes sent despite ActiveProbing=false: %d", res.Counters.SentRTProbes)
+	}
+}
+
+func TestMeanHopsScalesWithPopulation(t *testing.T) {
+	run := func(nodes int) float64 {
+		topo, err := BuildTopology("gatech", 8, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := trace.Generate(trace.Poisson(10*time.Hour, nodes, 30*time.Minute))
+		cfg := DefaultConfig(topo, tr)
+		cfg.SetupRamp = 2 * time.Minute
+		cfg.LookupRate = 0.05
+		return Run(cfg).Totals.MeanHops
+	}
+	small, large := run(20), run(200)
+	t.Logf("mean hops: N=20 %.2f, N=200 %.2f", small, large)
+	if large <= small {
+		t.Fatal("mean hops did not grow with overlay size")
+	}
+}
+
+func TestTrtMedianReported(t *testing.T) {
+	topo, err := BuildTopology("corpnet", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.Generate(trace.Poisson(30*time.Minute, 60, 40*time.Minute))
+	cfg := DefaultConfig(topo, tr)
+	cfg.SetupRamp = time.Minute
+	res := Run(cfg)
+	if res.TrtMedian <= 0 {
+		t.Fatal("TrtMedian not reported")
+	}
+	if res.TrtMedian < cfg.Pastry.MinTrt() {
+		t.Fatalf("TrtMedian %v below the protocol floor %v", res.TrtMedian, cfg.Pastry.MinTrt())
+	}
+}

@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"math/rand"
+	"sort"
+
+	"mspastry/internal/id"
+)
+
+// ring is the ground-truth membership oracle: the sorted set of currently
+// active overlay nodes. The harness uses it to decide which node *should*
+// deliver each lookup (the paper's incorrect-delivery metric) and to pick
+// join seeds.
+type ring struct {
+	entries []ringEntry
+}
+
+type ringEntry struct {
+	id   id.ID
+	slot int
+}
+
+func (r *ring) len() int { return len(r.entries) }
+
+func (r *ring) searchIdx(x id.ID) int {
+	return sort.Search(len(r.entries), func(i int) bool {
+		return r.entries[i].id.Cmp(x) >= 0
+	})
+}
+
+// insert adds an active node. Inserting an id that is already present
+// panics: identifiers are 128-bit random, so a collision is a bug.
+func (r *ring) insert(x id.ID, slot int) {
+	i := r.searchIdx(x)
+	if i < len(r.entries) && r.entries[i].id == x {
+		panic("harness: duplicate id in ground-truth ring")
+	}
+	r.entries = append(r.entries, ringEntry{})
+	copy(r.entries[i+1:], r.entries[i:])
+	r.entries[i] = ringEntry{id: x, slot: slot}
+}
+
+// remove deletes an active node; unknown ids are ignored (a node may fail
+// before it ever activated).
+func (r *ring) remove(x id.ID) {
+	i := r.searchIdx(x)
+	if i < len(r.entries) && r.entries[i].id == x {
+		r.entries = append(r.entries[:i], r.entries[i+1:]...)
+	}
+}
+
+// closest returns the active node whose id is closest to key on the ring
+// (the key's root).
+func (r *ring) closest(key id.ID) (ringEntry, bool) {
+	n := len(r.entries)
+	if n == 0 {
+		return ringEntry{}, false
+	}
+	i := r.searchIdx(key) % n
+	prev := (i - 1 + n) % n
+	a, b := r.entries[i], r.entries[prev]
+	if a.id == b.id {
+		return a, true
+	}
+	if id.CloserToKey(key, a.id, b.id) {
+		return a, true
+	}
+	return b, true
+}
+
+// random returns a uniformly random active node.
+func (r *ring) random(rng *rand.Rand) (ringEntry, bool) {
+	if len(r.entries) == 0 {
+		return ringEntry{}, false
+	}
+	return r.entries[rng.Intn(len(r.entries))], true
+}

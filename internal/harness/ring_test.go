@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"math/rand"
+	"testing"
+
+	"mspastry/internal/id"
+)
+
+func TestRingInsertRemoveClosest(t *testing.T) {
+	r := &ring{}
+	if _, ok := r.closest(id.New(0, 1)); ok {
+		t.Fatal("empty ring returned a root")
+	}
+	ids := []id.ID{id.New(0, 100), id.New(0, 200), id.New(0, 300)}
+	for i, x := range ids {
+		r.insert(x, i)
+	}
+	if r.len() != 3 {
+		t.Fatalf("len = %d", r.len())
+	}
+	for _, c := range []struct {
+		key  uint64
+		want uint64
+	}{
+		{100, 100}, {149, 100}, {151, 200}, {250, 200 /* tie: cw prefers 300? */},
+		{260, 300}, {1, 100},
+	} {
+		got, ok := r.closest(id.New(0, c.key))
+		if !ok {
+			t.Fatalf("no root for %d", c.key)
+		}
+		if c.key == 250 {
+			// Tie between 200 and 300 at distance 50: CloserToKey breaks
+			// ties clockwise, so 300 wins.
+			if got.id.Lo != 300 {
+				t.Fatalf("tie at 250 resolved to %d, want 300", got.id.Lo)
+			}
+			continue
+		}
+		if got.id.Lo != c.want {
+			t.Fatalf("closest(%d) = %d, want %d", c.key, got.id.Lo, c.want)
+		}
+	}
+	r.remove(id.New(0, 200))
+	got, _ := r.closest(id.New(0, 201))
+	if got.id.Lo != 100 && got.id.Lo != 300 {
+		t.Fatalf("closest after removal = %d", got.id.Lo)
+	}
+	// Removing an absent id is a no-op.
+	r.remove(id.New(0, 999))
+	if r.len() != 2 {
+		t.Fatalf("len = %d after removals", r.len())
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	r := &ring{}
+	r.insert(id.New(0, 10), 0)
+	r.insert(id.Max.Sub(id.New(0, 5)), 1)
+	// A key just below Max is closest to the near-Max node.
+	got, _ := r.closest(id.Max.Sub(id.New(0, 100)))
+	if got.slot != 1 {
+		t.Fatalf("wrap-around closest = slot %d, want 1", got.slot)
+	}
+	// A key at 0 wraps: distance to Max-5 is 6, to 10 is 10.
+	got, _ = r.closest(id.New(0, 0))
+	if got.slot != 1 {
+		t.Fatalf("closest(0) = slot %d, want 1 (dist 6 vs 10)", got.slot)
+	}
+}
+
+func TestRingClosestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	r := &ring{}
+	var all []ringEntry
+	for i := 0; i < 200; i++ {
+		x := id.Random(rng)
+		r.insert(x, i)
+		all = append(all, ringEntry{id: x, slot: i})
+	}
+	for trial := 0; trial < 500; trial++ {
+		key := id.Random(rng)
+		got, ok := r.closest(key)
+		if !ok {
+			t.Fatal("no root")
+		}
+		best := all[0]
+		for _, e := range all[1:] {
+			if id.CloserToKey(key, e.id, best.id) {
+				best = e
+			}
+		}
+		if got.id != best.id {
+			t.Fatalf("closest mismatch for %v: %v vs brute-force %v", key, got.id, best.id)
+		}
+	}
+}
+
+func TestRingDuplicateInsertPanics(t *testing.T) {
+	r := &ring{}
+	x := id.New(1, 2)
+	r.insert(x, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate insert")
+		}
+	}()
+	r.insert(x, 1)
+}

@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestTopologyDelaySpaceShapes checks the property behind the paper's RDP
+// ordering (CorpNet < GATech < Mercator): the ratio between the closest
+// reachable distances and the mean distance grows from CorpNet (deep
+// locality, nearly-free local hops) to Mercator (flat hop-count space
+// where proximity selection barely helps).
+func TestTopologyDelaySpaceShapes(t *testing.T) {
+	ratio := make(map[string]float64)
+	for _, name := range []string{"corpnet", "gatech", "mercator"} {
+		topo, err := BuildTopology(name, 8, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(2))
+		first := topo.Attach(120, rng)
+		var ds []time.Duration
+		var sum time.Duration
+		for a := 0; a < 120; a++ {
+			for b := a + 1; b < 120; b++ {
+				d := topo.Delay(first+a, first+b)
+				ds = append(ds, d)
+				sum += d
+			}
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		mean := sum / time.Duration(len(ds))
+		p10 := ds[len(ds)/10]
+		ratio[name] = float64(p10) / float64(mean)
+		t.Logf("%-9s p10=%v mean=%v p10/mean=%.3f", name, p10, mean, ratio[name])
+	}
+	if !(ratio["corpnet"] < ratio["gatech"] && ratio["gatech"] < ratio["mercator"]) {
+		t.Fatalf("delay-space flatness ordering violated: %v", ratio)
+	}
+}

@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mspastry/internal/topology"
+)
+
+// BuildTopology constructs one of the paper's three topologies by name
+// ("gatech", "mercator", "corpnet"). scaleDiv > 1 shrinks the topology for
+// fast runs (the paper's full sizes are scaleDiv = 1).
+func BuildTopology(name string, scaleDiv int, seed int64) (*topology.Network, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch name {
+	case "gatech":
+		cfg := topology.DefaultGATech()
+		if scaleDiv > 1 {
+			cfg = cfg.Scaled(scaleDiv)
+		}
+		return topology.GATech(cfg, rng), nil
+	case "mercator":
+		cfg := topology.DefaultMercator()
+		if scaleDiv > 1 {
+			// Shrink the AS count but keep autonomous systems large: the
+			// paper's Mercator regime has long intra-AS paths, so even the
+			// closest reachable node is many IP hops away — the flat delay
+			// space that starves proximity neighbour selection.
+			cfg.AS = maxI(64, cfg.AS/scaleDiv)
+		}
+		return topology.Mercator(cfg, rng), nil
+	case "corpnet":
+		// CorpNet is small (298 routers) and is never scaled: shrinking it
+		// would concentrate overlay nodes on few sites and flood the RDP
+		// average with near-zero-denominator pairs.
+		return topology.CorpNet(topology.DefaultCorpNet(), rng), nil
+	default:
+		return nil, fmt.Errorf("harness: unknown topology %q", name)
+	}
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

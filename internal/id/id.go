@@ -1,0 +1,224 @@
+// Package id implements 128-bit ring identifiers for structured overlays.
+//
+// Pastry (and therefore MSPastry) selects nodeIds and object keys uniformly
+// at random from the set of 128-bit unsigned integers and maps a key k to the
+// active node whose identifier is numerically closest to k modulo 2^128.
+// This package provides the arithmetic that the overlay needs: modular
+// addition and subtraction, ring distance, base-2^b digit extraction, and
+// shared-prefix computation.
+package id
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"strconv"
+)
+
+// Bits is the width of an identifier in bits.
+const Bits = 128
+
+// ID is a 128-bit unsigned integer identifying a node or an object key on
+// the Pastry ring. The zero value is the identifier 0.
+type ID struct {
+	Hi, Lo uint64
+}
+
+// Zero is the identifier 0.
+var Zero = ID{}
+
+// Max is the largest identifier, 2^128 - 1.
+var Max = ID{Hi: ^uint64(0), Lo: ^uint64(0)}
+
+// New builds an ID from its high and low 64-bit halves.
+func New(hi, lo uint64) ID { return ID{Hi: hi, Lo: lo} }
+
+// FromBytes interprets the first 16 bytes of buf as a big-endian 128-bit
+// integer. It panics if buf is shorter than 16 bytes.
+func FromBytes(buf []byte) ID {
+	return ID{
+		Hi: binary.BigEndian.Uint64(buf[0:8]),
+		Lo: binary.BigEndian.Uint64(buf[8:16]),
+	}
+}
+
+// FromKey hashes an application-level key (for example a URL) to an ID using
+// SHA-1, as the Squirrel web cache does in the paper.
+func FromKey(key string) ID {
+	sum := sha1.Sum([]byte(key))
+	return FromBytes(sum[:])
+}
+
+// Random draws an identifier uniformly at random from rng.
+func Random(rng *rand.Rand) ID {
+	return ID{Hi: rng.Uint64(), Lo: rng.Uint64()}
+}
+
+// Parse decodes the 32-hex-digit form produced by String.
+func Parse(s string) (ID, error) {
+	if len(s) != 32 {
+		return ID{}, fmt.Errorf("id: %q is not 32 hex digits", s)
+	}
+	var out ID
+	for i, half := range []*uint64{&out.Hi, &out.Lo} {
+		v, err := strconv.ParseUint(s[i*16:(i+1)*16], 16, 64)
+		if err != nil {
+			return ID{}, fmt.Errorf("id: parse %q: %w", s, err)
+		}
+		*half = v
+	}
+	return out, nil
+}
+
+// Bytes returns the big-endian 16-byte encoding of x.
+func (x ID) Bytes() []byte {
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[0:8], x.Hi)
+	binary.BigEndian.PutUint64(buf[8:16], x.Lo)
+	return buf[:]
+}
+
+// String renders x as 32 lowercase hex digits.
+func (x ID) String() string { return fmt.Sprintf("%016x%016x", x.Hi, x.Lo) }
+
+// IsZero reports whether x is the identifier 0.
+func (x ID) IsZero() bool { return x.Hi == 0 && x.Lo == 0 }
+
+// Cmp compares x and y as plain 128-bit unsigned integers. It returns -1 if
+// x < y, 0 if x == y and +1 if x > y.
+func (x ID) Cmp(y ID) int {
+	switch {
+	case x.Hi < y.Hi:
+		return -1
+	case x.Hi > y.Hi:
+		return 1
+	case x.Lo < y.Lo:
+		return -1
+	case x.Lo > y.Lo:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Less reports whether x < y as plain 128-bit unsigned integers.
+func (x ID) Less(y ID) bool { return x.Cmp(y) < 0 }
+
+// Add returns x + y modulo 2^128.
+func (x ID) Add(y ID) ID {
+	lo := x.Lo + y.Lo
+	carry := uint64(0)
+	if lo < x.Lo {
+		carry = 1
+	}
+	return ID{Hi: x.Hi + y.Hi + carry, Lo: lo}
+}
+
+// Sub returns x - y modulo 2^128.
+func (x ID) Sub(y ID) ID {
+	lo := x.Lo - y.Lo
+	borrow := uint64(0)
+	if x.Lo < y.Lo {
+		borrow = 1
+	}
+	return ID{Hi: x.Hi - y.Hi - borrow, Lo: lo}
+}
+
+// Clockwise returns the clockwise (increasing-identifier) distance from x to
+// y on the ring, that is (y - x) mod 2^128.
+func (x ID) Clockwise(y ID) ID { return y.Sub(x) }
+
+// Distance returns the ring distance between x and y: the minimum of the
+// clockwise and counter-clockwise distances. This is the metric Pastry uses
+// to define a key's root ("numerically closest modulo 2^128").
+func (x ID) Distance(y ID) ID {
+	cw := x.Clockwise(y)
+	ccw := y.Clockwise(x)
+	if cw.Cmp(ccw) <= 0 {
+		return cw
+	}
+	return ccw
+}
+
+// Half is 2^127, the midpoint of the ring.
+var Half = ID{Hi: 1 << 63}
+
+// CloserToKey reports whether candidate a is strictly closer to key k than
+// candidate b under the ring-distance metric, breaking exact ties in favour
+// of the numerically smaller clockwise distance from k (so the tie-break is
+// deterministic and agreed by all nodes).
+func CloserToKey(k, a, b ID) bool {
+	da, db := k.Distance(a), k.Distance(b)
+	switch da.Cmp(db) {
+	case -1:
+		return true
+	case 1:
+		return false
+	}
+	// Equal ring distances. This happens either because a == b or because a
+	// and b are diametrically placed around k; prefer the clockwise one.
+	return k.Clockwise(a).Cmp(k.Clockwise(b)) < 0
+}
+
+// Digit returns the i-th digit of x (0-based from the most significant end)
+// when x is written in base 2^b. It panics if the digit index is out of
+// range for the given base.
+func (x ID) Digit(i, b int) int {
+	if b <= 0 || b > 8 {
+		panic(fmt.Sprintf("id: digit base 2^%d out of range", b))
+	}
+	nd := Bits / b
+	if i < 0 || i >= nd {
+		panic(fmt.Sprintf("id: digit index %d out of range for b=%d", i, b))
+	}
+	shift := Bits - (i+1)*b
+	mask := uint64(1)<<b - 1
+	if shift >= 64 {
+		return int((x.Hi >> (shift - 64)) & mask)
+	}
+	// The digit may straddle the 64-bit boundary when 128 is not a multiple
+	// of b (e.g. b=3). Reassemble it from both halves.
+	lopart := x.Lo >> shift
+	hibits := shift + b - 64
+	if hibits > 0 {
+		lopart |= x.Hi << (64 - shift)
+	}
+	return int(lopart & mask)
+}
+
+// NumDigits returns the number of base-2^b digits in an identifier,
+// discarding any remainder bits at the least-significant end (relevant only
+// when b does not divide 128, as for b=3).
+func NumDigits(b int) int { return Bits / b }
+
+// CommonPrefixLen returns the number of leading base-2^b digits shared by x
+// and y.
+func CommonPrefixLen(x, y ID, b int) int {
+	xor := ID{Hi: x.Hi ^ y.Hi, Lo: x.Lo ^ y.Lo}
+	lz := leadingZeros(xor)
+	n := lz / b
+	if nd := NumDigits(b); n > nd {
+		n = nd
+	}
+	return n
+}
+
+func leadingZeros(x ID) int {
+	if x.Hi != 0 {
+		return bits.LeadingZeros64(x.Hi)
+	}
+	return 64 + bits.LeadingZeros64(x.Lo)
+}
+
+// InRangeCW reports whether m lies on the clockwise arc from a to b,
+// inclusive of both endpoints. When a == b the arc is the single point a.
+func InRangeCW(a, b, m ID) bool {
+	return a.Clockwise(m).Cmp(a.Clockwise(b)) <= 0
+}
+
+// Between reports whether key k lies within the closed identifier arc
+// spanned clockwise from lo to hi. This is the test routei uses against the
+// leftmost and rightmost leaf-set members.
+func Between(lo, hi, k ID) bool { return InRangeCW(lo, hi, k) }

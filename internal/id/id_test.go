@@ -1,0 +1,375 @@
+package id
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndHalves(t *testing.T) {
+	x := New(0x0123456789abcdef, 0xfedcba9876543210)
+	if x.Hi != 0x0123456789abcdef || x.Lo != 0xfedcba9876543210 {
+		t.Fatalf("New halves mismatch: %v", x)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	x := New(0x1, 0x2)
+	want := "00000000000000010000000000000002"
+	if got := x.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	f := func(hi, lo uint64) bool {
+		x := New(hi, lo)
+		got, err := Parse(x.String())
+		return err == nil && got == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "xyz", "0123", "zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted garbage", bad)
+		}
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	f := func(hi, lo uint64) bool {
+		x := New(hi, lo)
+		return FromBytes(x.Bytes()) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromKeyDeterministic(t *testing.T) {
+	a := FromKey("http://example.com/")
+	b := FromKey("http://example.com/")
+	c := FromKey("http://example.org/")
+	if a != b {
+		t.Fatalf("FromKey not deterministic: %v vs %v", a, b)
+	}
+	if a == c {
+		t.Fatalf("FromKey collision for distinct keys")
+	}
+}
+
+func TestCmpOrdering(t *testing.T) {
+	cases := []struct {
+		x, y ID
+		want int
+	}{
+		{Zero, Zero, 0},
+		{Zero, Max, -1},
+		{Max, Zero, 1},
+		{New(1, 0), New(0, ^uint64(0)), 1},
+		{New(0, 1), New(0, 2), -1},
+		{New(5, 5), New(5, 5), 0},
+	}
+	for _, c := range cases {
+		if got := c.x.Cmp(c.y); got != c.want {
+			t.Errorf("Cmp(%v,%v) = %d, want %d", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestAddSubInverse(t *testing.T) {
+	f := func(a, b, c, d uint64) bool {
+		x, y := New(a, b), New(c, d)
+		return x.Add(y).Sub(y) == x && x.Sub(y).Add(y) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddCarry(t *testing.T) {
+	x := New(0, ^uint64(0))
+	got := x.Add(New(0, 1))
+	if got != New(1, 0) {
+		t.Fatalf("carry not propagated: %v", got)
+	}
+	if Max.Add(New(0, 1)) != Zero {
+		t.Fatalf("wrap-around at 2^128 failed")
+	}
+}
+
+func TestSubBorrow(t *testing.T) {
+	if got := Zero.Sub(New(0, 1)); got != Max {
+		t.Fatalf("borrow: got %v, want Max", got)
+	}
+	if got := New(1, 0).Sub(New(0, 1)); got != New(0, ^uint64(0)) {
+		t.Fatalf("borrow across halves: got %v", got)
+	}
+}
+
+func TestClockwiseDistance(t *testing.T) {
+	a, b := New(0, 10), New(0, 3)
+	if got := b.Clockwise(a); got != New(0, 7) {
+		t.Fatalf("Clockwise(3->10) = %v, want 7", got)
+	}
+	// Going the other way wraps around the ring.
+	if got := a.Clockwise(b); got != Max.Sub(New(0, 6)) {
+		t.Fatalf("Clockwise(10->3) = %v", got)
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	f := func(a, b, c, d uint64) bool {
+		x, y := New(a, b), New(c, d)
+		return x.Distance(y) == y.Distance(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceAtMostHalfRing(t *testing.T) {
+	f := func(a, b, c, d uint64) bool {
+		x, y := New(a, b), New(c, d)
+		return x.Distance(y).Cmp(Half) <= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceZeroIffEqual(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x := New(a, b)
+		return x.Distance(x).IsZero()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if New(0, 1).Distance(New(0, 2)).IsZero() {
+		t.Fatal("distinct ids at distance zero")
+	}
+}
+
+func TestCloserToKey(t *testing.T) {
+	k := New(0, 100)
+	if !CloserToKey(k, New(0, 99), New(0, 90)) {
+		t.Fatal("99 should be closer to 100 than 90")
+	}
+	if CloserToKey(k, New(0, 90), New(0, 99)) {
+		t.Fatal("90 should not be closer to 100 than 99")
+	}
+	// Tie: 98 and 102 are both at distance 2; the clockwise one (102) wins.
+	if !CloserToKey(k, New(0, 102), New(0, 98)) {
+		t.Fatal("tie-break should prefer clockwise candidate")
+	}
+	if CloserToKey(k, New(0, 98), New(0, 102)) {
+		t.Fatal("tie-break asymmetry violated")
+	}
+	// Irreflexive.
+	if CloserToKey(k, New(0, 98), New(0, 98)) {
+		t.Fatal("CloserToKey must be irreflexive")
+	}
+}
+
+func TestCloserToKeyTotalOrder(t *testing.T) {
+	// For any key, CloserToKey must impose a strict total order: exactly one
+	// of CloserToKey(k,a,b) and CloserToKey(k,b,a) holds when a != b.
+	f := func(k1, k2, a1, a2, b1, b2 uint64) bool {
+		k, a, b := New(k1, k2), New(a1, a2), New(b1, b2)
+		if a == b {
+			return !CloserToKey(k, a, b) && !CloserToKey(k, b, a)
+		}
+		return CloserToKey(k, a, b) != CloserToKey(k, b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDigitB4(t *testing.T) {
+	x := New(0x0123456789abcdef, 0xfedcba9876543210)
+	wantHi := []int{0x0, 0x1, 0x2, 0x3, 0x4, 0x5, 0x6, 0x7, 0x8, 0x9, 0xa, 0xb, 0xc, 0xd, 0xe, 0xf}
+	for i, want := range wantHi {
+		if got := x.Digit(i, 4); got != want {
+			t.Errorf("Digit(%d,4) = %x, want %x", i, got, want)
+		}
+	}
+	if got := x.Digit(16, 4); got != 0xf {
+		t.Errorf("Digit(16,4) = %x, want f", got)
+	}
+	if got := x.Digit(31, 4); got != 0x0 {
+		t.Errorf("Digit(31,4) = %x, want 0", got)
+	}
+}
+
+func TestDigitB1MatchesBits(t *testing.T) {
+	f := func(hi, lo uint64) bool {
+		x := New(hi, lo)
+		for i := 0; i < 128; i++ {
+			var bit uint64
+			if i < 64 {
+				bit = (hi >> (63 - i)) & 1
+			} else {
+				bit = (lo >> (127 - i)) & 1
+			}
+			if x.Digit(i, 1) != int(bit) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDigitStraddlesBoundary(t *testing.T) {
+	// With b=3, digit 21 covers bits 63..65, straddling the hi/lo boundary.
+	x := New(1, 0) // bit 63 set (0-based from MSB: bit index 63)
+	if got := x.Digit(21, 3); got != 0b100 {
+		t.Fatalf("straddling digit = %b, want 100", got)
+	}
+	y := New(0, 1<<63) // bit 64 set
+	if got := y.Digit(21, 3); got != 0b010 {
+		t.Fatalf("straddling digit = %b, want 010", got)
+	}
+}
+
+func TestDigitReconstruction(t *testing.T) {
+	// Reassembling all base-2^b digits must reproduce the identifier's
+	// leading NumDigits(b)*b bits, for every supported b.
+	rng := rand.New(rand.NewSource(42))
+	for b := 1; b <= 8; b++ {
+		for trial := 0; trial < 20; trial++ {
+			x := Random(rng)
+			var acc ID
+			for i := 0; i < NumDigits(b); i++ {
+				d := x.Digit(i, b)
+				acc = shiftLeft(acc, b)
+				acc = acc.Add(New(0, uint64(d)))
+			}
+			rem := Bits - NumDigits(b)*b
+			want := shiftRightLogical(x, rem)
+			if acc != want {
+				t.Fatalf("b=%d: digit reconstruction mismatch: %v vs %v", b, acc, want)
+			}
+		}
+	}
+}
+
+func shiftLeft(x ID, n int) ID {
+	if n >= 64 {
+		return ID{Hi: x.Lo << (n - 64)}
+	}
+	if n == 0 {
+		return x
+	}
+	return ID{Hi: x.Hi<<n | x.Lo>>(64-n), Lo: x.Lo << n}
+}
+
+func shiftRightLogical(x ID, n int) ID {
+	if n >= 64 {
+		return ID{Lo: x.Hi >> (n - 64)}
+	}
+	if n == 0 {
+		return x
+	}
+	return ID{Hi: x.Hi >> n, Lo: x.Lo>>n | x.Hi<<(64-n)}
+}
+
+func TestDigitPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range digit")
+		}
+	}()
+	Zero.Digit(32, 4)
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	x := New(0x0123456789abcdef, 0)
+	if got := CommonPrefixLen(x, x, 4); got != 32 {
+		t.Fatalf("self prefix = %d, want 32", got)
+	}
+	y := New(0x0123456789abcdee, 0) // differs in hex digit 15
+	if got := CommonPrefixLen(x, y, 4); got != 15 {
+		t.Fatalf("prefix = %d, want 15", got)
+	}
+	z := New(0x1123456789abcdef, 0) // differs in first digit
+	if got := CommonPrefixLen(x, z, 4); got != 0 {
+		t.Fatalf("prefix = %d, want 0", got)
+	}
+}
+
+func TestCommonPrefixLenAgreesWithDigits(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for b := 1; b <= 8; b++ {
+		for trial := 0; trial < 50; trial++ {
+			x, y := Random(rng), Random(rng)
+			// Force longer shared prefixes occasionally.
+			if trial%3 == 0 {
+				y = x
+				y.Lo ^= 1 << uint(rng.Intn(40))
+			}
+			got := CommonPrefixLen(x, y, b)
+			want := 0
+			for i := 0; i < NumDigits(b); i++ {
+				if x.Digit(i, b) != y.Digit(i, b) {
+					break
+				}
+				want++
+			}
+			if got != want {
+				t.Fatalf("b=%d: CommonPrefixLen=%d, digit scan=%d (x=%v y=%v)", b, got, want, x, y)
+			}
+		}
+	}
+}
+
+func TestBetween(t *testing.T) {
+	lo, hi := New(0, 10), New(0, 20)
+	for _, c := range []struct {
+		k    ID
+		want bool
+	}{
+		{New(0, 10), true},
+		{New(0, 15), true},
+		{New(0, 20), true},
+		{New(0, 9), false},
+		{New(0, 21), false},
+	} {
+		if got := Between(lo, hi, c.k); got != c.want {
+			t.Errorf("Between(10,20,%v) = %v, want %v", c.k, got, c.want)
+		}
+	}
+	// Wrapped arc: from near-Max to small values.
+	wlo, whi := Max.Sub(New(0, 5)), New(0, 5)
+	if !Between(wlo, whi, Max) || !Between(wlo, whi, Zero) || !Between(wlo, whi, New(0, 5)) {
+		t.Fatal("wrapped arc membership failed")
+	}
+	if Between(wlo, whi, New(0, 6)) || Between(wlo, whi, Max.Sub(New(0, 6))) {
+		t.Fatal("wrapped arc should exclude points outside")
+	}
+}
+
+func TestRandomUniformDigits(t *testing.T) {
+	// Smoke test: first digits of random ids should hit all 16 values.
+	rng := rand.New(rand.NewSource(1))
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		seen[Random(rng).Digit(0, 4)] = true
+	}
+	if len(seen) != 16 {
+		t.Fatalf("first-digit coverage = %d/16", len(seen))
+	}
+}
+
+func TestNumDigits(t *testing.T) {
+	for _, c := range []struct{ b, want int }{{1, 128}, {2, 64}, {3, 42}, {4, 32}, {8, 16}} {
+		if got := NumDigits(c.b); got != c.want {
+			t.Errorf("NumDigits(%d) = %d, want %d", c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package netmodel binds MSPastry nodes to the discrete-event simulator
+// and a generated topology: it delivers messages with the topology's
+// one-way delay, drops them with a configurable uniform loss probability
+// (the paper's network-loss model; congestion is not modelled), and exposes
+// a traffic hook for the metrics pipeline.
+package netmodel
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"mspastry/internal/eventsim"
+	"mspastry/internal/pastry"
+	"mspastry/internal/topology"
+)
+
+// Network is a simulated packet network connecting overlay endpoints.
+type Network struct {
+	sim      *eventsim.Simulator
+	topo     *topology.Network
+	lossRate float64
+	eps      map[string]*Endpoint
+	onSend   func(from *Endpoint, to pastry.NodeRef, m pastry.Message)
+	// Drops counts messages lost to injected link loss.
+	Drops uint64
+}
+
+// New creates a network over the given simulator and topology with a
+// uniform message loss probability in [0,1).
+func New(sim *eventsim.Simulator, topo *topology.Network, lossRate float64) *Network {
+	if lossRate < 0 || lossRate >= 1 {
+		panic(fmt.Sprintf("netmodel: loss rate %v outside [0,1)", lossRate))
+	}
+	return &Network{sim: sim, topo: topo, lossRate: lossRate, eps: make(map[string]*Endpoint)}
+}
+
+// OnSend registers a hook invoked for every message handed to the network
+// (before loss is applied), for traffic accounting.
+func (nw *Network) OnSend(fn func(from *Endpoint, to pastry.NodeRef, m pastry.Message)) {
+	nw.onSend = fn
+}
+
+// Sim returns the underlying simulator.
+func (nw *Network) Sim() *eventsim.Simulator { return nw.sim }
+
+// Topology returns the underlying topology.
+func (nw *Network) Topology() *topology.Network { return nw.topo }
+
+// Endpoint is an attachment point for one overlay node. It implements
+// pastry.Env.
+type Endpoint struct {
+	nw    *Network
+	index int
+	addr  string
+	node  *pastry.Node
+	up    bool
+}
+
+// NewEndpoint wires a new endpoint to topology attachment point index.
+// Endpoint addresses are the decimal attachment index.
+func (nw *Network) NewEndpoint(index int) *Endpoint {
+	addr := strconv.Itoa(index)
+	if _, dup := nw.eps[addr]; dup {
+		panic("netmodel: endpoint already exists: " + addr)
+	}
+	ep := &Endpoint{nw: nw, index: index, addr: addr, up: true}
+	nw.eps[addr] = ep
+	return ep
+}
+
+// Endpoint returns the endpoint with the given address, if any.
+func (nw *Network) Endpoint(addr string) (*Endpoint, bool) {
+	ep, ok := nw.eps[addr]
+	return ep, ok
+}
+
+// Addr returns the endpoint's transport address.
+func (ep *Endpoint) Addr() string { return ep.addr }
+
+// Index returns the topology attachment index.
+func (ep *Endpoint) Index() int { return ep.index }
+
+// Node returns the overlay node currently bound to the endpoint.
+func (ep *Endpoint) Node() *pastry.Node { return ep.node }
+
+// Bind attaches an overlay node to the endpoint and marks it up. A new
+// node instance is bound for every session of a churning endpoint.
+func (ep *Endpoint) Bind(n *pastry.Node) {
+	ep.node = n
+	ep.up = true
+}
+
+// Fail crashes the endpoint's node and stops delivery to it.
+func (ep *Endpoint) Fail() {
+	ep.up = false
+	if ep.node != nil {
+		ep.node.Fail()
+	}
+}
+
+// Up reports whether the endpoint currently hosts a live node.
+func (ep *Endpoint) Up() bool { return ep.up && ep.node != nil }
+
+// Now implements pastry.Env.
+func (ep *Endpoint) Now() time.Duration { return ep.nw.sim.Now() }
+
+// Rand implements pastry.Env.
+func (ep *Endpoint) Rand() *rand.Rand { return ep.nw.sim.Rand() }
+
+// Schedule implements pastry.Env.
+func (ep *Endpoint) Schedule(d time.Duration, fn func()) pastry.Timer {
+	return ep.nw.sim.After(d, fn)
+}
+
+// Send implements pastry.Env: apply the traffic hook, roll for loss, then
+// deliver after the topology's one-way delay. Routed payloads are copied on
+// delivery so retransmitted duplicates do not share mutable state.
+func (ep *Endpoint) Send(to pastry.NodeRef, m pastry.Message) {
+	nw := ep.nw
+	if nw.onSend != nil {
+		nw.onSend(ep, to, m)
+	}
+	if nw.lossRate > 0 && nw.sim.Rand().Float64() < nw.lossRate {
+		nw.Drops++
+		return
+	}
+	dst, ok := nw.eps[to.Addr]
+	if !ok {
+		return
+	}
+	delay := nw.topo.Delay(ep.index, dst.index)
+	nw.sim.After(delay, func() {
+		if !dst.up || dst.node == nil {
+			return
+		}
+		if dst.node.Ref().ID != to.ID {
+			// The endpoint was reincarnated with a new identity; the
+			// message was addressed to the dead instance.
+			return
+		}
+		dst.node.Receive(copyForDelivery(m))
+	})
+}
+
+// copyForDelivery clones mutable routed payloads (lookup/join envelopes);
+// all other message types are treated as immutable by receivers.
+func copyForDelivery(m pastry.Message) pastry.Message {
+	env, ok := m.(*pastry.Envelope)
+	if !ok {
+		return m
+	}
+	out := *env
+	if env.Lookup != nil {
+		lk := *env.Lookup
+		out.Lookup = &lk
+	}
+	if env.Join != nil {
+		jr := *env.Join
+		jr.Rows = append([]pastry.NodeRef(nil), env.Join.Rows...)
+		out.Join = &jr
+	}
+	return &out
+}

@@ -1,0 +1,146 @@
+package netmodel
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mspastry/internal/eventsim"
+	"mspastry/internal/id"
+	"mspastry/internal/pastry"
+	"mspastry/internal/topology"
+)
+
+func testNet(t *testing.T, loss float64) (*eventsim.Simulator, *Network) {
+	t.Helper()
+	sim := eventsim.New(1)
+	topo := topology.CorpNet(topology.CorpNetConfig{Hubs: 4, EdgeRouters: 8}, rand.New(rand.NewSource(1)))
+	return sim, New(sim, topo, loss)
+}
+
+var nodeSalt uint64
+
+func makeNode(t *testing.T, nw *Network, ep *Endpoint) *pastry.Node {
+	t.Helper()
+	nodeSalt++
+	cfg := pastry.DefaultConfig()
+	ref := pastry.NodeRef{ID: id.New(uint64(ep.Index()+1), nodeSalt), Addr: ep.Addr()}
+	n, err := pastry.NewNode(ref, cfg, ep, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep.Bind(n)
+	return n
+}
+
+func TestDeliveryWithDelay(t *testing.T) {
+	sim, nw := testNet(t, 0)
+	a := nw.NewEndpoint(nw.Topology().Attach(2, sim.Rand()))
+	b := nw.NewEndpoint(a.Index() + 1)
+	na := makeNode(t, nw, a)
+	nb := makeNode(t, nw, b)
+	na.Bootstrap()
+	nb.Bootstrap()
+	// Send a heartbeat from a to b and check it arrives after the
+	// topology delay (b records the contact by replying nothing, so use
+	// a dist probe which triggers a reply).
+	a.Send(nb.Ref(), &pastry.DistProbe{From: na.Ref(), Seq: 7})
+	delay := nw.Topology().Delay(a.Index(), b.Index())
+	sim.RunUntil(delay - time.Nanosecond)
+	// Reply cannot have been sent yet (message not yet delivered).
+	sim.RunUntil(10 * time.Second)
+	// After full run, the probe reply must have come back (check via the
+	// estimator state indirectly: a's routing table gained b on contact).
+	if !na.Table().Contains(nb.Ref().ID) {
+		t.Fatal("probe reply never arrived")
+	}
+}
+
+func TestLossDropsMessages(t *testing.T) {
+	sim, nw := testNet(t, 0.5)
+	a := nw.NewEndpoint(nw.Topology().Attach(2, sim.Rand()))
+	b := nw.NewEndpoint(a.Index() + 1)
+	na := makeNode(t, nw, a)
+	nb := makeNode(t, nw, b)
+	_ = nb
+	for i := 0; i < 1000; i++ {
+		a.Send(nb.Ref(), &pastry.Heartbeat{From: na.Ref()})
+	}
+	if nw.Drops < 350 || nw.Drops > 650 {
+		t.Fatalf("drops = %d, want ~500 of 1000", nw.Drops)
+	}
+}
+
+func TestNoDeliveryToFailedEndpoint(t *testing.T) {
+	sim, nw := testNet(t, 0)
+	a := nw.NewEndpoint(nw.Topology().Attach(2, sim.Rand()))
+	b := nw.NewEndpoint(a.Index() + 1)
+	na := makeNode(t, nw, a)
+	nb := makeNode(t, nw, b)
+	b.Fail()
+	a.Send(nb.Ref(), &pastry.DistProbe{From: na.Ref(), Seq: 1})
+	sim.RunUntil(10 * time.Second)
+	if na.Table().Contains(nb.Ref().ID) {
+		t.Fatal("failed endpoint replied")
+	}
+}
+
+func TestNoDeliveryToReincarnatedIdentity(t *testing.T) {
+	sim, nw := testNet(t, 0)
+	a := nw.NewEndpoint(nw.Topology().Attach(2, sim.Rand()))
+	b := nw.NewEndpoint(a.Index() + 1)
+	na := makeNode(t, nw, a)
+	oldRef := makeNode(t, nw, b).Ref()
+	// Reincarnate b with a new identity.
+	b.Fail()
+	nb2 := makeNode(t, nw, b)
+	// A message addressed to the old identity must not reach the new one.
+	a.Send(oldRef, &pastry.DistProbe{From: na.Ref(), Seq: 2})
+	sim.RunUntil(10 * time.Second)
+	if na.Table().Contains(oldRef.ID) || na.Table().Contains(nb2.Ref().ID) {
+		t.Fatal("stale-identity message was delivered")
+	}
+}
+
+func TestOnSendHookSeesEverything(t *testing.T) {
+	sim, nw := testNet(t, 0.9)
+	a := nw.NewEndpoint(nw.Topology().Attach(2, sim.Rand()))
+	b := nw.NewEndpoint(a.Index() + 1)
+	na := makeNode(t, nw, a)
+	nb := makeNode(t, nw, b)
+	count := 0
+	nw.OnSend(func(from *Endpoint, to pastry.NodeRef, m pastry.Message) { count++ })
+	for i := 0; i < 100; i++ {
+		a.Send(nb.Ref(), &pastry.Heartbeat{From: na.Ref()})
+	}
+	if count != 100 {
+		t.Fatalf("hook saw %d of 100 sends (must count before loss)", count)
+	}
+}
+
+func TestEnvelopeCopiedOnDelivery(t *testing.T) {
+	sim, nw := testNet(t, 0)
+	a := nw.NewEndpoint(nw.Topology().Attach(2, sim.Rand()))
+	b := nw.NewEndpoint(a.Index() + 1)
+	na := makeNode(t, nw, a)
+	nb := makeNode(t, nw, b)
+	nb.Bootstrap()
+	lk := &pastry.Lookup{Key: id.New(9, 9), Seq: 1, Origin: na.Ref(), Hops: 0}
+	env := &pastry.Envelope{Xfer: 1, From: na.Ref(), Lookup: lk}
+	a.Send(nb.Ref(), env)
+	sim.RunUntil(10 * time.Second)
+	if lk.Hops != 0 {
+		t.Fatal("receiver mutated the sender's buffered lookup (no copy on delivery)")
+	}
+}
+
+func TestBadLossRatePanics(t *testing.T) {
+	sim := eventsim.New(1)
+	topo := topology.CorpNet(topology.CorpNetConfig{Hubs: 2, EdgeRouters: 2}, rand.New(rand.NewSource(1)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for loss rate 1.0")
+		}
+	}()
+	New(sim, topo, 1.0)
+}

@@ -1,0 +1,389 @@
+package pastry
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"mspastry/internal/id"
+)
+
+// Wire format: a 1-byte message tag followed by the message fields in a
+// fixed order. Integers are unsigned varints, durations are varint
+// nanoseconds, node references are 16 raw identifier bytes plus a
+// length-prefixed address, and slices carry a varint element count. The
+// format is versionless by design: all nodes in a deployment run the same
+// binary (as in the paper's deployment).
+
+const (
+	tagLookupEnvelope byte = iota + 1
+	tagAck
+	tagLSProbe
+	tagLSProbeReply
+	tagHeartbeat
+	tagRTProbe
+	tagRTProbeReply
+	tagJoinReply
+	tagDistProbe
+	tagDistProbeReply
+	tagDistReport
+	tagRowRequest
+	tagRowReply
+	tagRowAnnounce
+	tagRepairRequest
+	tagRepairReply
+	tagNNStateRequest
+	tagNNStateReply
+	tagAppDirect
+)
+
+// maxWireSlice bounds decoded slice lengths to keep a malformed or
+// malicious packet from causing huge allocations.
+const maxWireSlice = 4096
+
+// EncodeMessage serialises a message for transmission over a real
+// transport. It panics on unknown message types (a programming error).
+func EncodeMessage(m Message) []byte {
+	buf := make([]byte, 0, 256)
+	switch msg := m.(type) {
+	case *Envelope:
+		buf = append(buf, tagLookupEnvelope)
+		buf = binary.AppendUvarint(buf, msg.Xfer)
+		buf = appendBool(buf, msg.NeedAck)
+		buf = appendBool(buf, msg.Retx)
+		buf = appendRef(buf, msg.From)
+		buf = appendDuration(buf, msg.TrtHint)
+		buf = appendBool(buf, msg.Lookup != nil)
+		if msg.Lookup != nil {
+			buf = appendLookup(buf, msg.Lookup)
+		}
+		buf = appendBool(buf, msg.Join != nil)
+		if msg.Join != nil {
+			buf = appendJoin(buf, msg.Join)
+		}
+	case *Ack:
+		buf = append(buf, tagAck)
+		buf = binary.AppendUvarint(buf, msg.Xfer)
+		buf = appendRef(buf, msg.From)
+		buf = appendDuration(buf, msg.TrtHint)
+	case *LSProbe:
+		buf = append(buf, tagLSProbe)
+		buf = appendRef(buf, msg.From)
+		buf = appendRefs(buf, msg.Leaves)
+		buf = appendRefs(buf, msg.Failed)
+		buf = appendBool(buf, msg.NeedNear)
+		buf = appendDuration(buf, msg.TrtHint)
+	case *LSProbeReply:
+		buf = append(buf, tagLSProbeReply)
+		buf = appendRef(buf, msg.From)
+		buf = appendRefs(buf, msg.Leaves)
+		buf = appendRefs(buf, msg.Failed)
+		buf = appendRefs(buf, msg.Near)
+		buf = appendDuration(buf, msg.TrtHint)
+	case *Heartbeat:
+		buf = append(buf, tagHeartbeat)
+		buf = appendRef(buf, msg.From)
+		buf = appendDuration(buf, msg.TrtHint)
+	case *RTProbe:
+		buf = append(buf, tagRTProbe)
+		buf = appendRef(buf, msg.From)
+		buf = appendDuration(buf, msg.TrtHint)
+	case *RTProbeReply:
+		buf = append(buf, tagRTProbeReply)
+		buf = appendRef(buf, msg.From)
+		buf = appendDuration(buf, msg.TrtHint)
+	case *JoinReply:
+		buf = append(buf, tagJoinReply)
+		buf = appendRefs(buf, msg.Rows)
+		buf = appendRefs(buf, msg.Leaves)
+	case *DistProbe:
+		buf = append(buf, tagDistProbe)
+		buf = appendRef(buf, msg.From)
+		buf = binary.AppendUvarint(buf, msg.Seq)
+	case *DistProbeReply:
+		buf = append(buf, tagDistProbeReply)
+		buf = appendRef(buf, msg.From)
+		buf = binary.AppendUvarint(buf, msg.Seq)
+	case *DistReport:
+		buf = append(buf, tagDistReport)
+		buf = appendRef(buf, msg.From)
+		buf = appendDuration(buf, msg.RTT)
+	case *RowRequest:
+		buf = append(buf, tagRowRequest)
+		buf = appendRef(buf, msg.From)
+		buf = binary.AppendUvarint(buf, uint64(msg.Row))
+	case *RowReply:
+		buf = append(buf, tagRowReply)
+		buf = appendRef(buf, msg.From)
+		buf = binary.AppendUvarint(buf, uint64(msg.Row))
+		buf = appendRefs(buf, msg.Entries)
+	case *RowAnnounce:
+		buf = append(buf, tagRowAnnounce)
+		buf = appendRef(buf, msg.From)
+		buf = binary.AppendUvarint(buf, uint64(msg.Row))
+		buf = appendRefs(buf, msg.Entries)
+	case *RepairRequest:
+		buf = append(buf, tagRepairRequest)
+		buf = appendRef(buf, msg.From)
+		buf = binary.AppendUvarint(buf, uint64(msg.Row))
+		buf = binary.AppendUvarint(buf, uint64(msg.Col))
+	case *RepairReply:
+		buf = append(buf, tagRepairReply)
+		buf = appendRef(buf, msg.From)
+		buf = binary.AppendUvarint(buf, uint64(msg.Row))
+		buf = binary.AppendUvarint(buf, uint64(msg.Col))
+		buf = appendRefs(buf, msg.Entries)
+	case *NNStateRequest:
+		buf = append(buf, tagNNStateRequest)
+		buf = appendRef(buf, msg.From)
+	case *NNStateReply:
+		buf = append(buf, tagNNStateReply)
+		buf = appendRef(buf, msg.From)
+		buf = appendRefs(buf, msg.Leaves)
+		buf = appendRefs(buf, msg.Entries)
+	case *AppDirect:
+		buf = append(buf, tagAppDirect)
+		buf = appendRef(buf, msg.From)
+		buf = binary.AppendUvarint(buf, uint64(len(msg.Payload)))
+		buf = append(buf, msg.Payload...)
+	default:
+		panic(fmt.Sprintf("pastry: cannot encode %T", m))
+	}
+	return buf
+}
+
+// DecodeMessage parses a wire message.
+func DecodeMessage(buf []byte) (Message, error) {
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("pastry: empty message")
+	}
+	d := &decoder{buf: buf[1:]}
+	var m Message
+	switch buf[0] {
+	case tagLookupEnvelope:
+		env := &Envelope{}
+		env.Xfer = d.uvarint()
+		env.NeedAck = d.bool()
+		env.Retx = d.bool()
+		env.From = d.ref()
+		env.TrtHint = d.duration()
+		if d.bool() {
+			env.Lookup = d.lookup()
+		}
+		if d.bool() {
+			env.Join = d.join()
+		}
+		m = env
+	case tagAck:
+		m = &Ack{Xfer: d.uvarint(), From: d.ref(), TrtHint: d.duration()}
+	case tagLSProbe:
+		m = &LSProbe{From: d.ref(), Leaves: d.refs(), Failed: d.refs(), NeedNear: d.bool(), TrtHint: d.duration()}
+	case tagLSProbeReply:
+		m = &LSProbeReply{From: d.ref(), Leaves: d.refs(), Failed: d.refs(), Near: d.refs(), TrtHint: d.duration()}
+	case tagHeartbeat:
+		m = &Heartbeat{From: d.ref(), TrtHint: d.duration()}
+	case tagRTProbe:
+		m = &RTProbe{From: d.ref(), TrtHint: d.duration()}
+	case tagRTProbeReply:
+		m = &RTProbeReply{From: d.ref(), TrtHint: d.duration()}
+	case tagJoinReply:
+		m = &JoinReply{Rows: d.refs(), Leaves: d.refs()}
+	case tagDistProbe:
+		m = &DistProbe{From: d.ref(), Seq: d.uvarint()}
+	case tagDistProbeReply:
+		m = &DistProbeReply{From: d.ref(), Seq: d.uvarint()}
+	case tagDistReport:
+		m = &DistReport{From: d.ref(), RTT: d.duration()}
+	case tagRowRequest:
+		m = &RowRequest{From: d.ref(), Row: d.int()}
+	case tagRowReply:
+		m = &RowReply{From: d.ref(), Row: d.int(), Entries: d.refs()}
+	case tagRowAnnounce:
+		m = &RowAnnounce{From: d.ref(), Row: d.int(), Entries: d.refs()}
+	case tagRepairRequest:
+		m = &RepairRequest{From: d.ref(), Row: d.int(), Col: d.int()}
+	case tagRepairReply:
+		m = &RepairReply{From: d.ref(), Row: d.int(), Col: d.int(), Entries: d.refs()}
+	case tagNNStateRequest:
+		m = &NNStateRequest{From: d.ref()}
+	case tagNNStateReply:
+		m = &NNStateReply{From: d.ref(), Leaves: d.refs(), Entries: d.refs()}
+	case tagAppDirect:
+		ad := &AppDirect{From: d.ref()}
+		plen := d.uvarint()
+		if plen > 1<<20 {
+			d.fail("payload too long")
+			break
+		}
+		if plen > 0 {
+			ad.Payload = append([]byte(nil), d.take(int(plen))...)
+		}
+		m = ad
+	default:
+		return nil, fmt.Errorf("pastry: unknown message tag %d", buf[0])
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("pastry: decode tag %d: %w", buf[0], d.err)
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("pastry: %d trailing bytes after tag %d", len(d.buf), buf[0])
+	}
+	return m, nil
+}
+
+func appendBool(buf []byte, v bool) []byte {
+	if v {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+func appendRef(buf []byte, r NodeRef) []byte {
+	buf = append(buf, r.ID.Bytes()...)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Addr)))
+	return append(buf, r.Addr...)
+}
+
+func appendRefs(buf []byte, refs []NodeRef) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(refs)))
+	for _, r := range refs {
+		buf = appendRef(buf, r)
+	}
+	return buf
+}
+
+func appendDuration(buf []byte, d time.Duration) []byte {
+	return binary.AppendVarint(buf, int64(d))
+}
+
+func appendLookup(buf []byte, lk *Lookup) []byte {
+	buf = append(buf, lk.Key.Bytes()...)
+	buf = binary.AppendUvarint(buf, lk.Seq)
+	buf = appendRef(buf, lk.Origin)
+	buf = appendDuration(buf, lk.Issued)
+	buf = binary.AppendUvarint(buf, uint64(lk.Hops))
+	buf = appendBool(buf, lk.NoAck)
+	buf = binary.AppendUvarint(buf, uint64(len(lk.Payload)))
+	return append(buf, lk.Payload...)
+}
+
+func appendJoin(buf []byte, jr *JoinRequest) []byte {
+	buf = appendRef(buf, jr.Joiner)
+	buf = appendRefs(buf, jr.Rows)
+	return binary.AppendUvarint(buf, uint64(jr.Hops))
+}
+
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail(msg string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%s", msg)
+	}
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil || len(d.buf) < n {
+		d.fail("short buffer")
+		return nil
+	}
+	out := d.buf[:n]
+	d.buf = d.buf[n:]
+	return out
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) bool() bool {
+	b := d.take(1)
+	return len(b) == 1 && b[0] != 0
+}
+
+func (d *decoder) int() int { return int(d.uvarint()) }
+
+func (d *decoder) duration() time.Duration { return time.Duration(d.varint()) }
+
+func (d *decoder) ref() NodeRef {
+	raw := d.take(16)
+	if raw == nil {
+		return NodeRef{}
+	}
+	x := id.FromBytes(raw)
+	alen := d.uvarint()
+	if alen > maxWireSlice {
+		d.fail("address too long")
+		return NodeRef{}
+	}
+	addr := d.take(int(alen))
+	return NodeRef{ID: x, Addr: string(addr)}
+}
+
+func (d *decoder) refs() []NodeRef {
+	n := d.uvarint()
+	if n > maxWireSlice {
+		d.fail("slice too long")
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]NodeRef, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		out = append(out, d.ref())
+	}
+	return out
+}
+
+func (d *decoder) lookup() *Lookup {
+	raw := d.take(16)
+	if raw == nil {
+		return nil
+	}
+	lk := &Lookup{Key: id.FromBytes(raw)}
+	lk.Seq = d.uvarint()
+	lk.Origin = d.ref()
+	lk.Issued = d.duration()
+	lk.Hops = d.int()
+	lk.NoAck = d.bool()
+	plen := d.uvarint()
+	if plen > 1<<20 {
+		d.fail("payload too long")
+		return nil
+	}
+	if plen > 0 {
+		lk.Payload = append([]byte(nil), d.take(int(plen))...)
+	}
+	return lk
+}
+
+func (d *decoder) join() *JoinRequest {
+	jr := &JoinRequest{Joiner: d.ref(), Rows: d.refs()}
+	jr.Hops = d.int()
+	return jr
+}

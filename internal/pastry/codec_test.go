@@ -1,0 +1,171 @@
+package pastry
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mspastry/internal/id"
+)
+
+func randRef(rng *rand.Rand) NodeRef {
+	return NodeRef{ID: id.Random(rng), Addr: "127.0.0.1:12345"}
+}
+
+func randRefs(rng *rand.Rand, n int) []NodeRef {
+	if n == 0 {
+		return nil
+	}
+	out := make([]NodeRef, n)
+	for i := range out {
+		out[i] = randRef(rng)
+	}
+	return out
+}
+
+func sampleMessages(rng *rand.Rand) []Message {
+	return []Message{
+		&Envelope{Xfer: rng.Uint64(), NeedAck: true, From: randRef(rng), TrtHint: time.Minute,
+			Lookup: &Lookup{Key: id.Random(rng), Seq: 7, Origin: randRef(rng), Issued: 3 * time.Second, Hops: 2, Payload: []byte("hello")}},
+		&Envelope{Xfer: 1, Retx: true, From: randRef(rng),
+			Join: &JoinRequest{Joiner: randRef(rng), Rows: randRefs(rng, 5), Hops: 3}},
+		&Envelope{Xfer: 2, From: randRef(rng), Lookup: &Lookup{Key: id.Random(rng), Origin: randRef(rng), NoAck: true}},
+		&Ack{Xfer: 42, From: randRef(rng), TrtHint: 90 * time.Second},
+		&LSProbe{From: randRef(rng), Leaves: randRefs(rng, 8), Failed: randRefs(rng, 2), NeedNear: true, TrtHint: time.Second},
+		&LSProbe{From: randRef(rng)},
+		&LSProbeReply{From: randRef(rng), Leaves: randRefs(rng, 16), Failed: nil, Near: randRefs(rng, 33), TrtHint: 0},
+		&Heartbeat{From: randRef(rng), TrtHint: 5 * time.Minute},
+		&RTProbe{From: randRef(rng)},
+		&RTProbeReply{From: randRef(rng), TrtHint: time.Hour},
+		&JoinReply{Rows: randRefs(rng, 40), Leaves: randRefs(rng, 32)},
+		&DistProbe{From: randRef(rng), Seq: 99},
+		&DistProbeReply{From: randRef(rng), Seq: 99},
+		&DistReport{From: randRef(rng), RTT: 83 * time.Millisecond},
+		&RowRequest{From: randRef(rng), Row: 3},
+		&RowReply{From: randRef(rng), Row: 3, Entries: randRefs(rng, 15)},
+		&RowAnnounce{From: randRef(rng), Row: 0, Entries: randRefs(rng, 15)},
+		&RepairRequest{From: randRef(rng), Row: 2, Col: 11},
+		&RepairReply{From: randRef(rng), Row: 2, Col: 11, Entries: randRefs(rng, 4)},
+		&NNStateRequest{From: randRef(rng)},
+		&NNStateReply{From: randRef(rng), Leaves: randRefs(rng, 10), Entries: randRefs(rng, 20)},
+		&AppDirect{From: randRef(rng), Payload: []byte("response body")},
+		&AppDirect{From: randRef(rng)},
+	}
+}
+
+func TestCodecRoundTripAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range sampleMessages(rng) {
+		buf := EncodeMessage(m)
+		got, err := DecodeMessage(buf)
+		if err != nil {
+			t.Fatalf("%T: decode: %v", m, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("%T round trip mismatch:\n  in:  %#v\n  out: %#v", m, m, got)
+		}
+	}
+}
+
+func TestCodecDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, m := range sampleMessages(rng) {
+		a := EncodeMessage(m)
+		b := EncodeMessage(m)
+		if string(a) != string(b) {
+			t.Fatalf("%T: non-deterministic encoding", m)
+		}
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0},    // tag 0 invalid
+		{0xff}, // unknown tag
+		{tagAck},
+		{tagLSProbe, 1, 2, 3},
+	}
+	for _, c := range cases {
+		if _, err := DecodeMessage(c); err == nil {
+			t.Fatalf("garbage %v accepted", c)
+		}
+	}
+}
+
+func TestCodecRejectsTrailingBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	buf := EncodeMessage(&Heartbeat{From: randRef(rng)})
+	buf = append(buf, 0xaa)
+	if _, err := DecodeMessage(buf); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestCodecRejectsOversizedSlices(t *testing.T) {
+	// Hand-craft an LSProbe claiming 2^40 leaves.
+	rng := rand.New(rand.NewSource(4))
+	buf := []byte{tagLSProbe}
+	buf = appendRef(buf, randRef(rng))
+	buf = append(buf, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01) // huge uvarint
+	if _, err := DecodeMessage(buf); err == nil {
+		t.Fatal("oversized slice accepted")
+	}
+}
+
+func TestCodecFuzzNoPanics(t *testing.T) {
+	// Decoding arbitrary bytes must never panic; it may error.
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("decode panicked on %v: %v", data, r)
+			}
+		}()
+		_, _ = DecodeMessage(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecTruncationNoPanics(t *testing.T) {
+	// Every prefix of every valid message must decode cleanly or error,
+	// never panic.
+	rng := rand.New(rand.NewSource(5))
+	for _, m := range sampleMessages(rng) {
+		buf := EncodeMessage(m)
+		for cut := 0; cut < len(buf); cut++ {
+			if _, err := DecodeMessage(buf[:cut]); err == nil && cut < len(buf) {
+				// A strict prefix that decodes without error would be a
+				// framing ambiguity.
+				t.Fatalf("%T: prefix of %d/%d bytes decoded cleanly", m, cut, len(buf))
+			}
+		}
+	}
+}
+
+func BenchmarkCodecEncodeLookupEnvelope(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	env := &Envelope{Xfer: 9, NeedAck: true, From: randRef(rng),
+		Lookup: &Lookup{Key: id.Random(rng), Seq: 7, Origin: randRef(rng), Payload: make([]byte, 64)}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EncodeMessage(env)
+	}
+}
+
+func BenchmarkCodecDecodeLookupEnvelope(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	buf := EncodeMessage(&Envelope{Xfer: 9, NeedAck: true, From: randRef(rng),
+		Lookup: &Lookup{Key: id.Random(rng), Seq: 7, Origin: randRef(rng), Payload: make([]byte, 64)}})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeMessage(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

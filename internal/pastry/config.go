@@ -1,0 +1,147 @@
+package pastry
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config holds the MSPastry protocol parameters. DefaultConfig returns the
+// paper's base configuration; the boolean switches exist to run the paper's
+// ablation experiments (per-hop acks, active probing, self-tuning, probe
+// suppression, symmetric probing, structured heartbeats).
+type Config struct {
+	// B is the number of bits per identifier digit (paper default 4, so
+	// identifiers are base 16).
+	B int
+	// L is the leaf set size; L/2 neighbours on each side (paper: 32).
+	L int
+
+	// Tls is the leaf-set heartbeat period (paper: 30 s).
+	Tls time.Duration
+	// To is the probe timeout (paper: 3 s, the TCP SYN timeout).
+	To time.Duration
+	// MaxProbeRetries is the number of probe retries before a node is
+	// marked faulty (paper: 2).
+	MaxProbeRetries int
+
+	// PerHopAcks enables per-hop acknowledgements with aggressive
+	// retransmission for lookup traffic.
+	PerHopAcks bool
+	// MaxRouteAttempts bounds how many times one hop of a routed message
+	// is retransmitted (to alternative next hops) before being dropped.
+	MaxRouteAttempts int
+	// MinRTO and MaxRTO clamp the per-hop retransmission timeout.
+	MinRTO, MaxRTO time.Duration
+	// HoldOnSuspect prevents a node from delivering a lookup while a
+	// closer node is suspected-but-unconfirmed (excluded after a missed
+	// ack): the message is held or retransmitted with backoff until the
+	// suspect's probe resolves. This is the consistency/latency trade-off
+	// the paper discusses for the last hop; disabling it lowers delay
+	// slightly but admits incorrect deliveries under link loss.
+	HoldOnSuspect bool
+
+	// ActiveProbing enables liveness probing of routing-table entries.
+	ActiveProbing bool
+	// SelfTune enables self-tuning of the routing-table probing period to
+	// hit TargetRawLoss; when disabled, FixedTrt is used.
+	SelfTune bool
+	// TargetRawLoss is the raw loss-rate target Lr (paper: 5%).
+	TargetRawLoss float64
+	// FixedTrt is the routing-table probing period when SelfTune is off.
+	FixedTrt time.Duration
+	// FailureHistoryK is the size of the failure history used to estimate
+	// the failure rate.
+	FailureHistoryK int
+
+	// Suppression replaces failure-detection traffic with any message
+	// traffic observed between a pair of nodes.
+	Suppression bool
+	// StructuredHeartbeats sends a single heartbeat to the left ring
+	// neighbour instead of to every leaf-set member (paper §4.1). The
+	// all-pairs variant exists as an ablation baseline.
+	StructuredHeartbeats bool
+
+	// PNS enables proximity neighbour selection (nearest-neighbour join
+	// seeding, distance probing, constrained gossiping).
+	PNS bool
+	// DistProbeCount and DistProbeSpacing configure distance measurement
+	// (paper: median of 3 probes spaced 1 s).
+	DistProbeCount   int
+	DistProbeSpacing time.Duration
+	// SymmetricProbes enables the symmetric distance-probe optimisation.
+	SymmetricProbes bool
+	// RTMaintenance is the periodic routing-table maintenance interval
+	// (paper: 20 minutes).
+	RTMaintenance time.Duration
+
+	// TickInterval is the internal maintenance timer granularity.
+	TickInterval time.Duration
+	// LookupTTL bounds the number of overlay hops (routing loops are
+	// impossible in a consistent state; the TTL guards churn races).
+	LookupTTL int
+}
+
+// DefaultConfig returns the paper's base configuration: b=4, l=32,
+// Tls=30s, per-hop acks, routing-table probing self-tuned to a 5% raw loss
+// rate, probe suppression and symmetric distance probes.
+func DefaultConfig() Config {
+	return Config{
+		B:                    4,
+		L:                    32,
+		Tls:                  30 * time.Second,
+		To:                   3 * time.Second,
+		MaxProbeRetries:      2,
+		PerHopAcks:           true,
+		MaxRouteAttempts:     8,
+		HoldOnSuspect:        true,
+		MinRTO:               10 * time.Millisecond,
+		MaxRTO:               3 * time.Second,
+		ActiveProbing:        true,
+		SelfTune:             true,
+		TargetRawLoss:        0.05,
+		FixedTrt:             60 * time.Second,
+		FailureHistoryK:      16,
+		Suppression:          true,
+		StructuredHeartbeats: true,
+		PNS:                  true,
+		DistProbeCount:       3,
+		DistProbeSpacing:     time.Second,
+		SymmetricProbes:      true,
+		RTMaintenance:        20 * time.Minute,
+		TickInterval:         15 * time.Second,
+		LookupTTL:            64,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.B < 1 || c.B > 8:
+		return fmt.Errorf("pastry: B=%d outside [1,8]", c.B)
+	case c.L < 2 || c.L%2 != 0:
+		return fmt.Errorf("pastry: L=%d must be even and >= 2", c.L)
+	case c.Tls <= 0 || c.To <= 0:
+		return fmt.Errorf("pastry: Tls and To must be positive")
+	case c.MaxProbeRetries < 0:
+		return fmt.Errorf("pastry: MaxProbeRetries negative")
+	case c.SelfTune && (c.TargetRawLoss <= 0 || c.TargetRawLoss >= 1):
+		return fmt.Errorf("pastry: TargetRawLoss=%v outside (0,1)", c.TargetRawLoss)
+	case !c.SelfTune && c.ActiveProbing && c.FixedTrt <= 0:
+		return fmt.Errorf("pastry: FixedTrt must be positive without self-tuning")
+	case c.DistProbeCount < 1:
+		return fmt.Errorf("pastry: DistProbeCount must be >= 1")
+	case c.MaxRouteAttempts < 1:
+		return fmt.Errorf("pastry: MaxRouteAttempts must be >= 1")
+	case c.TickInterval <= 0:
+		return fmt.Errorf("pastry: TickInterval must be positive")
+	case c.LookupTTL < 1:
+		return fmt.Errorf("pastry: LookupTTL must be >= 1")
+	}
+	return nil
+}
+
+// MinTrt is the lower bound on the routing-table probing period:
+// (retries+1) probe timeouts, as in the paper.
+func (c Config) MinTrt() time.Duration {
+	return time.Duration(c.MaxProbeRetries+1) * c.To
+}

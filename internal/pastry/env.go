@@ -1,0 +1,91 @@
+package pastry
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Timer is a cancellable scheduled callback.
+type Timer interface {
+	Cancel()
+}
+
+// Env supplies a node with everything that differs between the simulator
+// and a real deployment: a clock, timers, randomness and a transport. All
+// Env callbacks into a node must be serialised (the simulator is
+// single-threaded; the UDP transport runs one loop per node).
+type Env interface {
+	// Now returns the current time (virtual or wall-clock).
+	Now() time.Duration
+	// Rand returns the node's random source.
+	Rand() *rand.Rand
+	// Send transmits a message to another node. Delivery is unreliable
+	// and unordered, like UDP.
+	Send(to NodeRef, m Message)
+	// Schedule runs fn after d. The returned timer can be cancelled.
+	Schedule(d time.Duration, fn func()) Timer
+}
+
+// DropReason explains why a lookup was dropped by the overlay.
+type DropReason int
+
+const (
+	// DropTTL means the lookup exceeded its hop budget.
+	DropTTL DropReason = iota + 1
+	// DropRetries means per-hop retransmission gave up.
+	DropRetries
+	// DropBuffer means a node failed or overflowed while holding the
+	// message (for example, it was buffered during a join).
+	DropBuffer
+)
+
+func (d DropReason) String() string {
+	switch d {
+	case DropTTL:
+		return "ttl"
+	case DropRetries:
+		return "retries"
+	case DropBuffer:
+		return "buffer"
+	default:
+		return "unknown"
+	}
+}
+
+// Observer receives protocol-level events for metrics collection. Methods
+// are called synchronously from within protocol processing and must not
+// call back into the node.
+type Observer interface {
+	// Activated fires when the node completes its join and becomes active.
+	Activated(n *Node, joinLatency time.Duration)
+	// Delivered fires when the node delivers a lookup as the root.
+	Delivered(n *Node, lk *Lookup)
+	// LookupDropped fires when a node drops a lookup.
+	LookupDropped(n *Node, lk *Lookup, reason DropReason)
+}
+
+// App is an application running on an overlay node (for example the
+// Squirrel web cache or Scribe multicast). All callbacks run in the node's
+// serialised context.
+type App interface {
+	// Deliver is invoked when a lookup reaches this node as its root.
+	Deliver(lk *Lookup)
+	// Forward is invoked before the node forwards a lookup one hop
+	// further. Returning false consumes the message (Scribe uses this to
+	// terminate subscribe messages at tree nodes).
+	Forward(lk *Lookup) bool
+	// Direct is invoked for point-to-point application messages.
+	Direct(from NodeRef, payload []byte)
+}
+
+// NopObserver ignores all events.
+type NopObserver struct{}
+
+// Activated implements Observer.
+func (NopObserver) Activated(*Node, time.Duration) {}
+
+// Delivered implements Observer.
+func (NopObserver) Delivered(*Node, *Lookup) {}
+
+// LookupDropped implements Observer.
+func (NopObserver) LookupDropped(*Node, *Lookup, DropReason) {}

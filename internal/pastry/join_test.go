@@ -1,0 +1,208 @@
+package pastry
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mspastry/internal/id"
+)
+
+func TestConcurrentAdjacentJoins(t *testing.T) {
+	// The classic consistency hazard: two nodes with adjacent identifiers
+	// join at the same instant through different seeds. Both must end up
+	// active with each other in their leaf sets (the paper's argument:
+	// members add a joiner before replying, so a later joiner learns
+	// about the earlier one during its own probing).
+	net := newTestNet(t, 81)
+	cfg := testConfig()
+	nodes := buildOverlay(t, net, 12, cfg)
+	rec := newRecorder()
+	base := id.New(0x4242424242424242, 0)
+	j1 := net.addNode(base.Add(id.New(0, 1)), cfg, rec)
+	j2 := net.addNode(base.Add(id.New(0, 2)), cfg, rec)
+	j1.Join(nodes[0].Ref())
+	j2.Join(nodes[5].Ref())
+	net.run(2 * time.Minute)
+	if !j1.Active() || !j2.Active() {
+		t.Fatalf("concurrent joiners not active: %v %v", j1.Active(), j2.Active())
+	}
+	if !j1.Leaf().Contains(j2.Ref().ID) {
+		t.Fatal("j1 does not know its adjacent concurrent joiner")
+	}
+	if !j2.Leaf().Contains(j1.Ref().ID) {
+		t.Fatal("j2 does not know its adjacent concurrent joiner")
+	}
+	// And lookups for keys between them are delivered consistently.
+	probe := net.addNode(id.Random(rand.New(rand.NewSource(82))), cfg, rec)
+	probe.SetSeedSource(func() (NodeRef, bool) { return nodes[0].Ref(), true })
+	probe.Join(nodes[0].Ref())
+	net.run(time.Minute)
+	key := base.Add(id.New(0, 1)) // exactly j1's id
+	seq, _ := probe.Lookup(key, nil)
+	net.run(10 * time.Second)
+	if got := rec.delivered[seq]; got.ID != j1.Ref().ID {
+		t.Fatalf("lookup for j1's id delivered at %v", got.ID)
+	}
+}
+
+func TestManySimultaneousJoins(t *testing.T) {
+	// A join storm: 15 nodes join a 5-node overlay in the same second.
+	net := newTestNet(t, 83)
+	cfg := testConfig()
+	nodes := buildOverlay(t, net, 5, cfg)
+	rng := rand.New(rand.NewSource(84))
+	var joiners []*Node
+	for i := 0; i < 15; i++ {
+		j := net.addNode(id.Random(rng), cfg, nil)
+		j.SetSeedSource(func() (NodeRef, bool) { return nodes[rng.Intn(len(nodes))].Ref(), true })
+		j.Join(nodes[rng.Intn(len(nodes))].Ref())
+		joiners = append(joiners, j)
+	}
+	net.run(5 * time.Minute)
+	for i, j := range joiners {
+		if !j.Active() {
+			t.Fatalf("joiner %d not active after join storm", i)
+		}
+	}
+	// The ring must be globally consistent after the storm.
+	all := append(append([]*Node(nil), nodes...), joiners...)
+	assertRingConsistent(t, all)
+}
+
+// assertRingConsistent checks every node's immediate neighbours against
+// global membership.
+func assertRingConsistent(t *testing.T, nodes []*Node) {
+	t.Helper()
+	for _, n := range nodes {
+		if !n.Alive() {
+			continue
+		}
+		self := n.Ref().ID
+		var wantRight id.ID
+		first := true
+		for _, other := range nodes {
+			if !other.Alive() || other.Ref().ID == self {
+				continue
+			}
+			o := other.Ref().ID
+			if first || self.Clockwise(o).Cmp(self.Clockwise(wantRight)) < 0 {
+				wantRight, first = o, false
+			}
+		}
+		right, ok := n.Leaf().RightNeighbour()
+		if !ok || right.ID != wantRight {
+			t.Fatalf("node %v right neighbour = %v, want %v", self, right.ID, wantRight)
+		}
+	}
+}
+
+func TestJoinWithPNSUsesNearestSeed(t *testing.T) {
+	// With PNS, the joiner runs the nearest-neighbour algorithm before
+	// sending its join request; the overlay must still form correctly on
+	// a clustered delay space.
+	net := newTestNet(t, 85)
+	net.delayFn = clusteredDelay(3)
+	cfg := testConfig()
+	cfg.PNS = true
+	rng := rand.New(rand.NewSource(85))
+	var nodes []*Node
+	first := net.addNode(id.Random(rng), cfg, nil)
+	first.Bootstrap()
+	nodes = append(nodes, first)
+	for i := 1; i < 12; i++ {
+		j := net.addNode(id.Random(rng), cfg, nil)
+		j.Join(nodes[net.sim.Rand().Intn(len(nodes))].Ref())
+		nodes = append(nodes, j)
+		net.run(20 * time.Second)
+	}
+	net.run(time.Minute)
+	for i, n := range nodes {
+		if !n.Active() {
+			t.Fatalf("PNS joiner %d never activated", i)
+		}
+	}
+	assertRingConsistent(t, nodes)
+}
+
+func TestJoinerRowsPropagate(t *testing.T) {
+	// The join reply carries routing rows collected along the route; the
+	// joiner's table must be non-trivially populated immediately after
+	// activation.
+	net := newTestNet(t, 86)
+	cfg := testConfig()
+	nodes := buildOverlay(t, net, 20, cfg)
+	j := net.addNode(id.Random(rand.New(rand.NewSource(87))), cfg, nil)
+	j.Join(nodes[3].Ref())
+	net.run(time.Minute)
+	if !j.Active() {
+		t.Fatal("joiner not active")
+	}
+	if j.Table().Count() < 3 {
+		t.Fatalf("joiner routing table nearly empty: %d entries", j.Table().Count())
+	}
+}
+
+func TestRejoinAfterFailureWithNewIdentity(t *testing.T) {
+	// An endpoint that crashes and returns with a fresh id must join
+	// cleanly, and the old identity must vanish from all leaf sets.
+	net := newTestNet(t, 88)
+	cfg := testConfig()
+	nodes := buildOverlay(t, net, 10, cfg)
+	victim := nodes[4]
+	oldID := victim.Ref().ID
+	victim.Fail()
+	reborn := net.addNode(id.Random(rand.New(rand.NewSource(89))), cfg, nil)
+	reborn.SetSeedSource(func() (NodeRef, bool) { return nodes[0].Ref(), true })
+	reborn.Join(nodes[0].Ref())
+	net.run(3 * time.Minute)
+	if !reborn.Active() {
+		t.Fatal("rejoined node not active")
+	}
+	for i, n := range nodes {
+		if i == 4 || !n.Alive() {
+			continue
+		}
+		if n.Leaf().Contains(oldID) {
+			t.Fatalf("node %d still lists the dead identity", i)
+		}
+		if !n.Leaf().Complete() {
+			t.Fatalf("node %d leaf set incomplete after rejoin", i)
+		}
+	}
+}
+
+func TestJoinStormDuringFailures(t *testing.T) {
+	// Joins and failures interleaved in the same instants.
+	net := newTestNet(t, 90)
+	cfg := testConfig()
+	nodes := buildOverlay(t, net, 16, cfg)
+	rng := rand.New(rand.NewSource(91))
+	alive := append([]*Node(nil), nodes...)
+	for wave := 0; wave < 3; wave++ {
+		for k := 0; k < 3; k++ {
+			v := alive[rng.Intn(len(alive))]
+			v.Fail()
+			for i, n := range alive {
+				if n == v {
+					alive = append(alive[:i], alive[i+1:]...)
+					break
+				}
+			}
+			j := net.addNode(id.Random(rng), cfg, nil)
+			j.SetSeedSource(func() (NodeRef, bool) {
+				return alive[rng.Intn(len(alive))].Ref(), true
+			})
+			j.Join(alive[rng.Intn(len(alive))].Ref())
+			alive = append(alive, j)
+		}
+		net.run(4 * time.Minute)
+	}
+	net.run(4 * time.Minute)
+	for i, n := range alive {
+		if !n.Active() {
+			t.Fatalf("node %d not active after interleaved churn", i)
+		}
+	}
+	assertRingConsistent(t, alive)
+}

@@ -1,0 +1,521 @@
+package pastry
+
+import (
+	"fmt"
+	"time"
+
+	"mspastry/internal/id"
+)
+
+// Node is one MSPastry overlay node. It is driven entirely by its Env:
+// incoming messages arrive through Receive, and time-based behaviour runs
+// off timers the node schedules. All methods must be called from the Env's
+// serialised context.
+type Node struct {
+	cfg  Config
+	env  Env
+	obs  Observer
+	self NodeRef
+
+	ls *LeafSet
+	rt *RoutingTable
+
+	alive  bool
+	active bool
+
+	joinStart  time.Duration
+	joinSeed   NodeRef
+	seedSource func() (NodeRef, bool)
+
+	// probing tracks outstanding liveness probes (leaf-set and routing
+	// table); failed holds nodes marked faulty; excluded holds nodes
+	// temporarily routed around after a missed per-hop ack.
+	probing  map[id.ID]*probeState
+	failed   map[id.ID]NodeRef
+	excluded map[id.ID]bool
+
+	// Per-hop ack state.
+	pending  map[uint64]*pendingHop
+	nextXfer uint64
+
+	rto           map[id.ID]*rttEstimator
+	lastRecv      map[id.ID]time.Duration
+	lastSent      map[id.ID]time.Duration
+	lastLiveness  map[id.ID]time.Duration // last probe activity per RT entry
+	lastHeartbeat map[id.ID]time.Duration
+
+	// Self-tuning state.
+	failureHist []time.Duration
+	trtHints    map[id.ID]time.Duration
+	trtLocal    time.Duration
+	trtCurrent  time.Duration
+
+	// Distance measurement sessions, keyed by target.
+	distSessions map[id.ID]*distSession
+	nextDistSeq  uint64
+	distSeqs     map[uint64]*distSession
+
+	lastMaintenance time.Duration
+
+	// distProbed remembers when each candidate was last distance-probed,
+	// so periodic maintenance does not re-measure known-farther nodes
+	// every round.
+	distProbed map[id.ID]time.Duration
+
+	// lsCandidateProbed remembers when each leaf-set candidate was last
+	// probed. While a side of the leaf set is short, every incoming probe
+	// nominates dozens of candidates; without this memory each nomination
+	// would re-probe them all, turning one failure into a probe storm.
+	lsCandidateProbed map[id.ID]time.Duration
+
+	// nn tracks the nearest-neighbour search during a join.
+	nn *nnState
+
+	// Messages held while the node cannot deliver (joining, or a leaf-set
+	// side is empty).
+	holdBuffer []*Lookup
+
+	nextLookupSeq uint64
+
+	tickTimer Timer
+
+	app App
+
+	counters Counters
+}
+
+// Counters exposes protocol-internal tallies used by the evaluation.
+type Counters struct {
+	// SuppressedProbes counts routing-table probes and heartbeats that
+	// application traffic made unnecessary.
+	SuppressedProbes uint64
+	// SentRTProbes counts routing-table liveness probes actually sent.
+	SentRTProbes uint64
+	// SentHeartbeats counts heartbeats actually sent.
+	SentHeartbeats uint64
+	// Retransmits counts per-hop retransmissions.
+	Retransmits uint64
+	// FalsePositives counts nodes marked faulty that later proved alive
+	// (they contacted us after being marked).
+	FalsePositives uint64
+	// DeliveredLookups counts lookups delivered by this node as root.
+	DeliveredLookups uint64
+}
+
+type probeState struct {
+	ref     NodeRef
+	isLeaf  bool // leaf-set probe (LSProbe) vs routing-table ping
+	retries int
+	timer   Timer
+	// announce marks probes started by first-hand failure suspicion
+	// (missed heartbeat or missed per-hop ack): if such a probe times
+	// out, the failure is announced to the rest of the leaf set.
+	// Confirmation and repair probes never re-announce — otherwise one
+	// failure would cascade into l^2 probe traffic.
+	announce bool
+}
+
+type pendingHop struct {
+	lookup   *Lookup
+	join     *JoinRequest
+	key      id.ID
+	to       NodeRef
+	attempts int
+	// tried holds next hops already attempted for this message.
+	tried   map[id.ID]bool
+	timer   Timer
+	sentAt  time.Duration
+	retx    bool
+	needAck bool
+}
+
+// NewNode creates a node with the given identity. The node is inert until
+// Bootstrap or Join is called.
+func NewNode(self NodeRef, cfg Config, env Env, obs Observer) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if obs == nil {
+		obs = NopObserver{}
+	}
+	n := &Node{
+		cfg:               cfg,
+		env:               env,
+		obs:               obs,
+		self:              self,
+		ls:                NewLeafSet(self.ID, cfg.L),
+		rt:                NewRoutingTable(self.ID, cfg.B),
+		alive:             true,
+		probing:           make(map[id.ID]*probeState),
+		failed:            make(map[id.ID]NodeRef),
+		excluded:          make(map[id.ID]bool),
+		pending:           make(map[uint64]*pendingHop),
+		rto:               make(map[id.ID]*rttEstimator),
+		lastRecv:          make(map[id.ID]time.Duration),
+		lastSent:          make(map[id.ID]time.Duration),
+		lastLiveness:      make(map[id.ID]time.Duration),
+		lastHeartbeat:     make(map[id.ID]time.Duration),
+		trtHints:          make(map[id.ID]time.Duration),
+		distSessions:      make(map[id.ID]*distSession),
+		distSeqs:          make(map[uint64]*distSession),
+		distProbed:        make(map[id.ID]time.Duration),
+		lsCandidateProbed: make(map[id.ID]time.Duration),
+	}
+	n.trtCurrent = n.initialTrt()
+	n.trtLocal = n.trtCurrent
+	return n, nil
+}
+
+func (n *Node) initialTrt() time.Duration {
+	if !n.cfg.SelfTune {
+		return n.cfg.FixedTrt
+	}
+	return clampDuration(60*time.Second, n.cfg.MinTrt(), maxTrt)
+}
+
+// Ref returns the node's identity.
+func (n *Node) Ref() NodeRef { return n.self }
+
+// Active reports whether the node has completed its join.
+func (n *Node) Active() bool { return n.active }
+
+// Alive reports whether the node has not crashed.
+func (n *Node) Alive() bool { return n.alive }
+
+// Leaf returns the node's leaf set (read-only access for tests/metrics).
+func (n *Node) Leaf() *LeafSet { return n.ls }
+
+// Table returns the node's routing table (read-only access).
+func (n *Node) Table() *RoutingTable { return n.rt }
+
+// Trt returns the current routing-table probing period.
+func (n *Node) Trt() time.Duration { return n.trtCurrent }
+
+// Stats returns a snapshot of the node's internal counters.
+func (n *Node) Stats() Counters { return n.counters }
+
+// Config returns the node's configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// SetApp installs the application layer. Must be called before the node
+// joins the overlay.
+func (n *Node) SetApp(app App) { n.app = app }
+
+// SendDirect sends a point-to-point application message to another node
+// (outside overlay routing), delivered to the peer's App.Direct.
+func (n *Node) SendDirect(to NodeRef, payload []byte) {
+	if !n.alive {
+		return
+	}
+	n.send(to, &AppDirect{From: n.self, Payload: payload})
+}
+
+// SetSeedSource installs a callback used to obtain a fresh seed when a
+// join stalls (for example because the original seed crashed mid-join).
+func (n *Node) SetSeedSource(f func() (NodeRef, bool)) { n.seedSource = f }
+
+// Bootstrap makes this node the first member of a new overlay: it becomes
+// active immediately with empty routing state.
+func (n *Node) Bootstrap() {
+	if !n.alive || n.active {
+		return
+	}
+	n.joinStart = n.env.Now()
+	n.activate()
+}
+
+// Join starts the join protocol through the given seed node. With PNS
+// enabled the node first runs the nearest-neighbour algorithm to find a
+// nearby seed, then routes a join request to its own identifier.
+func (n *Node) Join(seed NodeRef) {
+	if !n.alive || n.active {
+		return
+	}
+	n.joinStart = n.env.Now()
+	n.joinSeed = seed
+	if n.cfg.PNS {
+		n.startNearestNeighbour(seed)
+		return
+	}
+	n.sendJoinRequest(seed)
+}
+
+// Fail crashes the node: it stops responding to messages and timers. This
+// models the fail-stop departures injected by the churn traces.
+func (n *Node) Fail() {
+	n.alive = false
+	n.active = false
+	if n.tickTimer != nil {
+		n.tickTimer.Cancel()
+		n.tickTimer = nil
+	}
+	for _, ps := range n.probing {
+		if ps.timer != nil {
+			ps.timer.Cancel()
+		}
+	}
+	for _, ph := range n.pending {
+		if ph.timer != nil {
+			ph.timer.Cancel()
+		}
+	}
+	for _, ds := range n.distSessions {
+		if ds.timer != nil {
+			ds.timer.Cancel()
+		}
+	}
+}
+
+// Lookup routes an application lookup to the root of key. It returns the
+// sequence number identifying the lookup at this origin. Lookups can be
+// issued before activation; they are held and routed once active.
+func (n *Node) Lookup(key id.ID, payload []byte) (uint64, bool) {
+	if !n.alive {
+		return 0, false
+	}
+	n.nextLookupSeq++
+	lk := &Lookup{
+		Key:     key,
+		Seq:     n.nextLookupSeq,
+		Origin:  n.self,
+		Issued:  n.env.Now(),
+		NoAck:   !n.cfg.PerHopAcks,
+		Payload: payload,
+	}
+	// Route asynchronously so the caller observes the sequence number
+	// before any delivery callback can fire (the origin may itself be the
+	// key's root, in which case routing delivers immediately).
+	n.schedule(0, func() { n.routeLookup(lk, nil) })
+	return lk.Seq, true
+}
+
+// Receive processes one incoming message. The sender is identified by the
+// message's From field; receipt of any message refreshes the sender's
+// liveness.
+func (n *Node) Receive(m Message) {
+	if !n.alive {
+		return
+	}
+	switch msg := m.(type) {
+	case *Envelope:
+		n.noteContact(msg.From, msg.TrtHint)
+		n.handleEnvelope(msg)
+	case *Ack:
+		n.noteContact(msg.From, msg.TrtHint)
+		n.handleAck(msg)
+	case *LSProbe:
+		n.noteContact(msg.From, msg.TrtHint)
+		n.handleLSProbe(msg)
+	case *LSProbeReply:
+		n.noteContact(msg.From, msg.TrtHint)
+		n.handleLSProbeReply(msg)
+	case *Heartbeat:
+		n.noteContact(msg.From, msg.TrtHint)
+	case *RTProbe:
+		n.noteContact(msg.From, msg.TrtHint)
+		n.send(msg.From, &RTProbeReply{From: n.self, TrtHint: n.trtLocal})
+	case *RTProbeReply:
+		n.noteContact(msg.From, msg.TrtHint)
+		n.handleRTProbeReply(msg)
+	case *JoinReply:
+		n.handleJoinReply(msg)
+	case *DistProbe:
+		n.noteContact(msg.From, 0)
+		n.send(msg.From, &DistProbeReply{From: n.self, Seq: msg.Seq})
+	case *DistProbeReply:
+		n.noteContact(msg.From, 0)
+		n.handleDistProbeReply(msg)
+	case *DistReport:
+		n.noteContact(msg.From, 0)
+		n.handleDistReport(msg)
+	case *RowRequest:
+		n.noteContact(msg.From, 0)
+		n.send(msg.From, &RowReply{From: n.self, Row: msg.Row, Entries: n.rt.Row(msg.Row)})
+	case *RowReply:
+		n.noteContact(msg.From, 0)
+		n.handleRowEntries(append(msg.Entries, msg.From), false)
+	case *RowAnnounce:
+		// A join announcement: always measure the newcomer itself; the
+		// other row entries only fill gaps (periodic maintenance handles
+		// slot improvement).
+		n.noteContact(msg.From, 0)
+		n.handleRowEntries([]NodeRef{msg.From}, false)
+		n.handleRowEntries(msg.Entries, true)
+	case *RepairRequest:
+		n.noteContact(msg.From, 0)
+		n.handleRepairRequest(msg)
+	case *RepairReply:
+		n.noteContact(msg.From, 0)
+		n.handleRowEntries(msg.Entries, true)
+	case *NNStateRequest:
+		n.noteContact(msg.From, 0)
+		n.send(msg.From, &NNStateReply{From: n.self, Leaves: n.ls.Members(), Entries: n.rt.Entries()})
+	case *NNStateReply:
+		n.noteContact(msg.From, 0)
+		n.handleNNStateReply(msg)
+	case *AppDirect:
+		n.noteContact(msg.From, 0)
+		if n.app != nil {
+			n.app.Direct(msg.From, msg.Payload)
+		}
+	default:
+		panic(fmt.Sprintf("pastry: unknown message %T", m))
+	}
+}
+
+// noteContact records that a message was received directly from the peer.
+// Direct contact is what authorises inserting a node into routing state
+// (the paper's anti-propagation rule for dead nodes), refreshes failure
+// detection (probe suppression) and carries self-tuning hints.
+func (n *Node) noteContact(from NodeRef, hint time.Duration) {
+	if from.IsZero() || from.ID == n.self.ID {
+		return
+	}
+	now := n.env.Now()
+	n.lastRecv[from.ID] = now
+	if _, wasFailed := n.failed[from.ID]; wasFailed {
+		// A node we marked faulty is alive after all: false positive.
+		delete(n.failed, from.ID)
+		n.counters.FalsePositives++
+	}
+	// Opportunistic routing-table fill: we heard from the node directly.
+	n.rt.Add(from)
+	// A direct sender that belongs in our leaf set but is missing from it
+	// (for example after a false positive was announced and repaired
+	// around) is probed so the leaf set re-admits it. Direct contact
+	// satisfies the insertion discipline; probing, rather than inserting
+	// outright, also exchanges leaf-set state.
+	if n.active && !n.ls.Contains(from.ID) && n.wouldExtendLeafSet(from) &&
+		n.markCandidateProbe(from.ID) {
+		noteProbeCause("direct-contact")
+		n.probeLeaf(from)
+	}
+	if hint > 0 {
+		n.trtHints[from.ID] = hint
+	}
+}
+
+// markCandidateProbe records a leaf-candidate probe attempt and reports
+// whether the candidate is due (not probed within the heartbeat period).
+func (n *Node) markCandidateProbe(x id.ID) bool {
+	now := n.env.Now()
+	if last, ok := n.lsCandidateProbed[x]; ok && now-last < n.cfg.Tls {
+		return false
+	}
+	n.lsCandidateProbed[x] = now
+	return true
+}
+
+// send transmits a message and records the contact for suppression.
+func (n *Node) send(to NodeRef, m Message) {
+	n.lastSent[to.ID] = n.env.Now()
+	n.env.Send(to, m)
+}
+
+// schedule wraps Env.Schedule with a liveness guard so callbacks never run
+// on a crashed node.
+func (n *Node) schedule(d time.Duration, fn func()) Timer {
+	return n.env.Schedule(d, func() {
+		if n.alive {
+			fn()
+		}
+	})
+}
+
+// activate marks the node active, replays held messages and starts the
+// periodic maintenance tick.
+func (n *Node) activate() {
+	n.active = true
+	for idx := range n.failed {
+		delete(n.failed, idx)
+	}
+	n.obs.Activated(n, n.env.Now()-n.joinStart)
+	n.lastMaintenance = n.env.Now()
+	n.startTick()
+	n.announceRows()
+	n.releaseHeld()
+}
+
+func (n *Node) startTick() {
+	if n.tickTimer != nil {
+		return
+	}
+	var tick func()
+	tick = func() {
+		n.tickTimer = n.schedule(n.cfg.TickInterval, tick)
+		n.onTick()
+	}
+	// Desynchronise ticks across nodes.
+	first := time.Duration(n.env.Rand().Int63n(int64(n.cfg.TickInterval)))
+	n.tickTimer = n.schedule(first, tick)
+}
+
+// onTick runs the periodic maintenance: heartbeats, right-neighbour
+// failure suspicion, routing-table liveness probing, self-tuning and
+// periodic routing-table maintenance.
+func (n *Node) onTick() {
+	if !n.active {
+		return
+	}
+	now := n.env.Now()
+	n.sendHeartbeats(now)
+	n.checkRightNeighbour(now)
+	if n.cfg.ActiveProbing {
+		n.scanRoutingTable(now)
+	}
+	if n.cfg.SelfTune {
+		n.retune(now)
+	}
+	if n.cfg.PNS && n.cfg.RTMaintenance > 0 && now-n.lastMaintenance >= n.cfg.RTMaintenance {
+		n.lastMaintenance = now
+		n.periodicMaintenance()
+	}
+	n.pruneHints()
+}
+
+// pruneHints drops self-tuning hints from nodes no longer in the routing
+// state, so the median reflects live peers; it also expires the
+// distance-probe memory.
+func (n *Node) pruneHints() {
+	for x := range n.trtHints {
+		if !n.rt.Contains(x) && !n.ls.Contains(x) {
+			delete(n.trtHints, x)
+		}
+	}
+	now := n.env.Now()
+	horizon := 2 * n.cfg.RTMaintenance
+	for x, at := range n.distProbed {
+		if now-at > horizon {
+			delete(n.distProbed, x)
+		}
+	}
+	for x, at := range n.lsCandidateProbed {
+		if now-at > 2*n.cfg.Tls {
+			delete(n.lsCandidateProbed, x)
+		}
+	}
+}
+
+// holdLookup buffers a lookup the node cannot deliver or route yet.
+func (n *Node) holdLookup(lk *Lookup) {
+	const maxHeld = 256
+	if len(n.holdBuffer) >= maxHeld {
+		n.obs.LookupDropped(n, lk, DropBuffer)
+		return
+	}
+	n.holdBuffer = append(n.holdBuffer, lk)
+}
+
+// releaseHeld re-routes messages buffered while the node was unable to
+// deliver. Routing state may have changed, so they go through the full
+// route function again.
+func (n *Node) releaseHeld() {
+	if len(n.holdBuffer) == 0 {
+		return
+	}
+	held := n.holdBuffer
+	n.holdBuffer = nil
+	for _, lk := range held {
+		n.routeLookup(lk, nil)
+	}
+}

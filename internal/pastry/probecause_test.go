@@ -1,0 +1,64 @@
+package pastry
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mspastry/internal/id"
+)
+
+// TestChurnEventProbeCost bounds the leaf-set maintenance cost of churn:
+// one failure or join must not trigger more than ~l^2 leaf-set messages
+// (the candidate-probe memory prevents nomination storms), and failure
+// announcements must happen exactly once per failure.
+func TestChurnEventProbeCost(t *testing.T) {
+	causes := map[string]int{}
+	probeCauseHook = func(cause string) { causes[cause]++ }
+	defer func() { probeCauseHook = nil }()
+
+	net := newTestNet(t, 99)
+	cfg := testConfig()
+	cfg.L = 32
+	nodes := buildOverlay(t, net, 100, cfg)
+	net.run(5 * time.Minute)
+	for k := range causes {
+		delete(causes, k)
+	}
+	before := net.sent[CatLeafSet]
+
+	rng := rand.New(rand.NewSource(5))
+	alive := append([]*Node(nil), nodes...)
+	const churnEvents = 40 // 20 failures + 20 joins
+	for round := 0; round < churnEvents/2; round++ {
+		v := alive[rng.Intn(len(alive))]
+		v.Fail()
+		for i, n := range alive {
+			if n == v {
+				alive = append(alive[:i], alive[i+1:]...)
+				break
+			}
+		}
+		j := net.addNode(id.Random(rng), cfg, nil)
+		j.SetSeedSource(func() (NodeRef, bool) { return alive[rng.Intn(len(alive))].Ref(), true })
+		j.Join(alive[rng.Intn(len(alive))].Ref())
+		alive = append(alive, j)
+		net.run(2 * time.Minute)
+	}
+
+	perEvent := (net.sent[CatLeafSet] - before) / churnEvents
+	t.Logf("leafset msgs per churn event: %d; causes: %v", perEvent, causes)
+	if perEvent > cfg.L*cfg.L {
+		t.Fatalf("leaf-set maintenance cost %d msgs/event exceeds l^2=%d", perEvent, cfg.L*cfg.L)
+	}
+	// Exactly one announcement wave per failure: the wave probes ~l
+	// members, so the announce cause count stays near l per failure.
+	if got := causes["announce"]; got > churnEvents/2*cfg.L*2 {
+		t.Fatalf("announcement cascade detected: %d announce probes for %d failures", got, churnEvents/2)
+	}
+	for _, n := range alive {
+		if !n.Active() {
+			t.Fatal("node inactive after churn")
+		}
+	}
+}

@@ -1,0 +1,471 @@
+package pastry
+
+import (
+	"time"
+
+	"mspastry/internal/id"
+)
+
+// probeLeaf starts (or upgrades to) a leaf-set probe of ref, per Figure 2's
+// probei: no-op if the node is already being probed with a leaf probe or
+// has been marked faulty.
+var probeCauseHook func(cause string)
+
+func noteProbeCause(cause string) {
+	if probeCauseHook != nil {
+		probeCauseHook(cause)
+	}
+}
+
+func (n *Node) probeLeaf(ref NodeRef) { n.probeLeafAnnounce(ref, false) }
+
+// probeLeafAnnounce starts a leaf probe; announce marks it as first-hand
+// failure suspicion (its timeout is announced to the leaf set).
+func (n *Node) probeLeafAnnounce(ref NodeRef, announce bool) {
+	if ref.ID == n.self.ID || ref.IsZero() {
+		return
+	}
+	if _, bad := n.failed[ref.ID]; bad {
+		return
+	}
+	if ps, ok := n.probing[ref.ID]; ok {
+		if announce {
+			ps.announce = true
+		}
+		if !ps.isLeaf {
+			// Upgrade an in-flight liveness ping to a leaf probe so the
+			// reply carries leaf-set state.
+			ps.isLeaf = true
+			n.sendProbeMsg(ps)
+		}
+		return
+	}
+	ps := &probeState{ref: ref, isLeaf: true, announce: announce}
+	n.probing[ref.ID] = ps
+	n.sendProbeMsg(ps)
+	n.armProbeTimer(ps)
+}
+
+// probeLiveness starts a routing-table liveness probe of ref.
+func (n *Node) probeLiveness(ref NodeRef) {
+	if ref.ID == n.self.ID || ref.IsZero() {
+		return
+	}
+	if _, bad := n.failed[ref.ID]; bad {
+		return
+	}
+	if _, ok := n.probing[ref.ID]; ok {
+		return
+	}
+	ps := &probeState{ref: ref}
+	n.probing[ref.ID] = ps
+	n.sendProbeMsg(ps)
+	n.armProbeTimer(ps)
+}
+
+func (n *Node) sendProbeMsg(ps *probeState) {
+	if ps.isLeaf {
+		n.send(ps.ref, &LSProbe{
+			From:     n.self,
+			Leaves:   n.ls.Members(),
+			Failed:   n.failedList(),
+			NeedNear: !n.ls.Complete(),
+			TrtHint:  n.trtLocal,
+		})
+		return
+	}
+	n.counters.SentRTProbes++
+	n.send(ps.ref, &RTProbe{From: n.self, TrtHint: n.trtLocal})
+}
+
+func (n *Node) armProbeTimer(ps *probeState) {
+	ps.timer = n.schedule(n.cfg.To, func() { n.probeTimeout(ps) })
+}
+
+func (n *Node) failedList() []NodeRef {
+	out := make([]NodeRef, 0, len(n.failed))
+	for _, ref := range n.failed {
+		out = append(out, ref)
+	}
+	return out
+}
+
+// probeTimeout implements PROBE-TIMEOUT: retry a few times with a large
+// timeout (minimising false positives), then mark the node faulty.
+func (n *Node) probeTimeout(ps *probeState) {
+	cur, ok := n.probing[ps.ref.ID]
+	if !ok || cur != ps {
+		return
+	}
+	if ps.retries < n.cfg.MaxProbeRetries {
+		ps.retries++
+		n.sendProbeMsg(ps)
+		n.armProbeTimer(ps)
+		return
+	}
+	n.markFaulty(ps.ref, ps.announce)
+	n.doneProbing(ps.ref.ID)
+}
+
+// markFaulty removes a node from all routing state, records the failure for
+// the failure-rate estimator, and — when the node was a leaf-set member —
+// announces the failure to the rest of the leaf set (whose probe replies in
+// turn supply repair candidates).
+func (n *Node) markFaulty(ref NodeRef, announce bool) {
+	wasLeaf := n.ls.Contains(ref.ID)
+	n.ls.Remove(ref.ID)
+	n.rt.Remove(ref.ID)
+	n.failed[ref.ID] = ref
+	delete(n.excluded, ref.ID)
+	delete(n.trtHints, ref.ID)
+	n.recordFailure(n.env.Now())
+	if announce && wasLeaf && n.active {
+		for _, m := range n.ls.Members() {
+			noteProbeCause("announce")
+			n.probeLeaf(m)
+		}
+	}
+}
+
+// doneProbing implements Figure 2's done-probing: when the last outstanding
+// probe completes, either become active (leaf set complete) or continue
+// leaf-set repair.
+func (n *Node) doneProbing(x id.ID) {
+	if ps, ok := n.probing[x]; ok {
+		if ps.timer != nil {
+			ps.timer.Cancel()
+		}
+		delete(n.probing, x)
+	}
+	if len(n.probing) > 0 {
+		return
+	}
+	if n.ls.Complete() {
+		if !n.active {
+			n.activate()
+		} else {
+			for idx := range n.failed {
+				delete(n.failed, idx)
+			}
+			n.releaseHeld()
+		}
+		return
+	}
+	n.repairLeafSet()
+}
+
+// repairLeafSet continues leaf-set repair: probe outwards through the
+// farthest member on each deficient side; if a side is completely empty,
+// fall back to the generalised repair via the routing table.
+func (n *Node) repairLeafSet() {
+	half := n.ls.Half()
+	progressed := false
+	if len(n.ls.Left()) < half {
+		if lm, ok := n.ls.Leftmost(); ok {
+			noteProbeCause("repair-left")
+			n.probeLeaf(lm)
+			progressed = true
+		} else if cand, ok := n.closestKnown(true); ok {
+			noteProbeCause("repair-left-empty")
+			n.probeLeaf(cand)
+			progressed = true
+		}
+	}
+	if len(n.ls.Right()) < half {
+		if rm, ok := n.ls.Rightmost(); ok {
+			noteProbeCause("repair-right")
+			n.probeLeaf(rm)
+			progressed = true
+		} else if cand, ok := n.closestKnown(false); ok {
+			noteProbeCause("repair-right-empty")
+			n.probeLeaf(cand)
+			progressed = true
+		}
+	}
+	if progressed {
+		return
+	}
+	// Nothing left to probe. If the node is still joining, its seed may
+	// have died mid-join; retry after a backoff through the seed source.
+	if !n.active {
+		n.scheduleJoinRetry()
+	}
+}
+
+// closestKnown finds the nearest known node on the requested side among
+// routing-table entries and leaf members — the generalised repair that
+// recovers even when one side of the leaf set is completely empty.
+func (n *Node) closestKnown(leftSide bool) (NodeRef, bool) {
+	var best NodeRef
+	found := false
+	consider := func(ref NodeRef) {
+		if ref.ID == n.self.ID {
+			return
+		}
+		if _, bad := n.failed[ref.ID]; bad {
+			return
+		}
+		if !found {
+			best, found = ref, true
+			return
+		}
+		var d, bd id.ID
+		if leftSide {
+			d = ref.ID.Clockwise(n.self.ID)
+			bd = best.ID.Clockwise(n.self.ID)
+		} else {
+			d = n.self.ID.Clockwise(ref.ID)
+			bd = n.self.ID.Clockwise(best.ID)
+		}
+		if d.Cmp(bd) < 0 {
+			best = ref
+		}
+	}
+	for _, e := range n.rt.Entries() {
+		consider(e)
+	}
+	for _, e := range n.ls.Members() {
+		consider(e)
+	}
+	return best, found
+}
+
+// handleLSProbe implements RECEIVE(LS-PROBE) from Figure 2.
+func (n *Node) handleLSProbe(p *LSProbe) {
+	n.processLeafInfo(p.From, p.Leaves, p.Failed)
+	reply := &LSProbeReply{
+		From:    n.self,
+		Leaves:  n.ls.Members(),
+		Failed:  n.failedList(),
+		TrtHint: n.trtLocal,
+	}
+	// Only repairing nodes get the nearest-known candidate list (the
+	// generalised repair of the paper): sending it on every probe would
+	// fan out into needless candidate probing.
+	if p.NeedNear {
+		reply.Near = n.nearestKnown(p.From.ID, n.cfg.L+1)
+	}
+	n.send(p.From, reply)
+}
+
+// handleLSProbeReply implements RECEIVE(LS-PROBE-REPLY).
+func (n *Node) handleLSProbeReply(p *LSProbeReply) {
+	delete(n.excluded, p.From.ID)
+	n.processLeafInfo(p.From, append(p.Leaves, p.Near...), p.Failed)
+	n.doneProbing(p.From.ID)
+}
+
+// processLeafInfo is the common body of LS-PROBE and LS-PROBE-REPLY
+// handling (Figure 2): insert the direct sender; re-probe members the
+// sender claims have failed (to recover from false positives); remove them
+// meanwhile; and probe any new leaf-set candidates before inserting them.
+func (n *Node) processLeafInfo(from NodeRef, leaves, failed []NodeRef) {
+	delete(n.failed, from.ID)
+	n.ls.Add(from)
+	n.rt.Add(from)
+	// Nodes the sender believes faulty: if they are in our leaf set, probe
+	// them to confirm, and remove them until they prove alive.
+	for _, f := range failed {
+		if f.ID == n.self.ID {
+			continue
+		}
+		if n.ls.Contains(f.ID) {
+			n.ls.Remove(f.ID)
+			noteProbeCause("confirm-failed")
+			n.probeLeaf(f)
+		}
+	}
+	// Candidate members from the sender's leaf set: probe before insertion
+	// (a node never enters the leaf set without direct contact).
+	for _, cand := range leaves {
+		if cand.ID == n.self.ID {
+			continue
+		}
+		if _, bad := n.failed[cand.ID]; bad {
+			continue
+		}
+		if n.ls.Contains(cand.ID) {
+			continue
+		}
+		if n.wouldExtendLeafSet(cand) && n.markCandidateProbe(cand.ID) {
+			noteProbeCause("candidate")
+			n.probeLeaf(cand)
+		}
+	}
+}
+
+// wouldExtendLeafSet reports whether cand would enter the leaf set if it
+// proved alive, bounding probe traffic to useful candidates.
+func (n *Node) wouldExtendLeafSet(cand NodeRef) bool {
+	half := n.ls.Half()
+	left, right := n.ls.Left(), n.ls.Right()
+	if len(left) < half || len(right) < half {
+		return true
+	}
+	farLeft := left[len(left)-1]
+	if cand.ID.Clockwise(n.self.ID).Cmp(farLeft.ID.Clockwise(n.self.ID)) < 0 {
+		return true
+	}
+	farRight := right[len(right)-1]
+	return n.self.ID.Clockwise(cand.ID).Cmp(n.self.ID.Clockwise(farRight.ID)) < 0
+}
+
+// nearestKnown returns up to k known nodes closest (in ring distance) to
+// the target identifier, drawn from the routing table and leaf set. It
+// implements the reply side of generalised leaf-set repair.
+func (n *Node) nearestKnown(target id.ID, k int) []NodeRef {
+	seen := map[id.ID]bool{n.self.ID: true, target: true}
+	var all []NodeRef
+	for _, e := range n.rt.Entries() {
+		if !seen[e.ID] {
+			seen[e.ID] = true
+			all = append(all, e)
+		}
+	}
+	for _, e := range n.ls.Members() {
+		if !seen[e.ID] {
+			seen[e.ID] = true
+			all = append(all, e)
+		}
+	}
+	// Selection sort of the k closest is fine at leaf-set scale.
+	if k > len(all) {
+		k = len(all)
+	}
+	for i := 0; i < k; i++ {
+		minIdx := i
+		for j := i + 1; j < len(all); j++ {
+			if id.CloserToKey(target, all[j].ID, all[minIdx].ID) {
+				minIdx = j
+			}
+		}
+		all[i], all[minIdx] = all[minIdx], all[i]
+	}
+	return all[:k]
+}
+
+// handleRTProbeReply completes a liveness probe.
+func (n *Node) handleRTProbeReply(p *RTProbeReply) {
+	delete(n.excluded, p.From.ID)
+	n.lastLiveness[p.From.ID] = n.env.Now()
+	n.doneProbing(p.From.ID)
+}
+
+// suspect triggers failure detection for a node (SUSPECT-FAULTY in the
+// paper): leaf-set members get a leaf probe; routing-table entries a ping.
+func (n *Node) suspect(ref NodeRef) {
+	if n.ls.Contains(ref.ID) {
+		noteProbeCause("suspect")
+		n.probeLeafAnnounce(ref, true)
+		return
+	}
+	n.probeLiveness(ref)
+}
+
+// sendHeartbeats sends the periodic liveness heartbeat. With structured
+// heartbeats (the paper's optimisation) only the left ring neighbour is
+// heartbeated, making leaf-set maintenance cost independent of l; the
+// all-pairs mode is the ablation baseline. Any traffic already sent to the
+// target within Tls suppresses the heartbeat when suppression is on.
+func (n *Node) sendHeartbeats(now time.Duration) {
+	targets := n.heartbeatTargets()
+	for _, t := range targets {
+		if now-n.lastHeartbeat[t.ID] < n.cfg.Tls {
+			continue
+		}
+		if n.cfg.Suppression && now-n.lastSent[t.ID] < n.cfg.Tls {
+			n.counters.SuppressedProbes++
+			n.lastHeartbeat[t.ID] = n.lastSent[t.ID]
+			continue
+		}
+		n.lastHeartbeat[t.ID] = now
+		n.counters.SentHeartbeats++
+		n.send(t, &Heartbeat{From: n.self, TrtHint: n.trtLocal})
+	}
+}
+
+func (n *Node) heartbeatTargets() []NodeRef {
+	if n.cfg.StructuredHeartbeats {
+		if left, ok := n.ls.LeftNeighbour(); ok {
+			return []NodeRef{left}
+		}
+		return nil
+	}
+	return n.ls.Members()
+}
+
+// checkRightNeighbour suspects the right neighbour when its heartbeat is
+// overdue (structured mode), or any member in the all-pairs ablation.
+func (n *Node) checkRightNeighbour(now time.Duration) {
+	deadline := n.cfg.Tls + n.cfg.To
+	if n.cfg.StructuredHeartbeats {
+		if right, ok := n.ls.RightNeighbour(); ok {
+			if n.silentFor(right.ID, now) > deadline {
+				n.suspect(right)
+			}
+		}
+		return
+	}
+	for _, m := range n.ls.Members() {
+		if n.silentFor(m.ID, now) > deadline {
+			n.suspect(m)
+		}
+	}
+}
+
+// silentFor returns how long a peer has been silent, counting from the
+// moment we first knew it if it never spoke.
+func (n *Node) silentFor(x id.ID, now time.Duration) time.Duration {
+	last, ok := n.lastRecv[x]
+	if !ok {
+		// Never heard directly: leaf members always contacted us at least
+		// once (insertion discipline), so this is unreachable in practice;
+		// treat as fresh to avoid spurious suspicion.
+		n.lastRecv[x] = now
+		return 0
+	}
+	return now - last
+}
+
+// scanRoutingTable sends liveness probes to routing state whose last probe
+// (or, with suppression, any traffic) is older than the current probing
+// period Trt. Leaf-set members are included as a slow backstop: fast leaf
+// failure detection comes from the heartbeat chain and announcements, but
+// a dead node on a node's *left* side produces no heartbeat signal towards
+// it, and if the detector's announcement was lost (for example during a
+// massive correlated failure) the ghost would otherwise persist forever.
+// For members that do generate traffic, suppression makes this free.
+func (n *Node) scanRoutingTable(now time.Duration) {
+	trt := n.trtCurrent
+	scanned := make(map[id.ID]bool, n.rt.Count())
+	targets := n.rt.Entries()
+	for _, m := range n.ls.Members() {
+		if !n.rt.Contains(m.ID) {
+			targets = append(targets, m)
+		}
+	}
+	for _, e := range targets {
+		if scanned[e.ID] {
+			continue
+		}
+		scanned[e.ID] = true
+		last := n.lastLiveness[e.ID]
+		if last == 0 {
+			// First sight: start the probing clock now.
+			n.lastLiveness[e.ID] = now
+			continue
+		}
+		if now-last < trt {
+			continue
+		}
+		if n.cfg.Suppression {
+			if lr, ok := n.lastRecv[e.ID]; ok && now-lr < trt {
+				n.counters.SuppressedProbes++
+				n.lastLiveness[e.ID] = lr
+				continue
+			}
+		}
+		n.lastLiveness[e.ID] = now
+		n.probeLiveness(e)
+	}
+}

@@ -1,0 +1,400 @@
+package pastry
+
+import (
+	"time"
+
+	"mspastry/internal/id"
+)
+
+const maxTrt = time.Hour
+
+// isExcluded reports whether a node must be routed around: it has been
+// marked faulty, or it is temporarily excluded after a missed per-hop ack,
+// or it was already tried for this particular message.
+func (n *Node) isExcluded(tried map[id.ID]bool) func(id.ID) bool {
+	return func(x id.ID) bool {
+		if n.excluded[x] {
+			return true
+		}
+		if _, bad := n.failed[x]; bad {
+			return true
+		}
+		return tried != nil && tried[x]
+	}
+}
+
+// nextHop implements the route function of Figure 2: leaf set first, then
+// the routing-table slot for the key's prefix, then any known node closer
+// to the key that keeps the prefix invariant (routing around failures).
+// It returns the local node with self=true when the message has arrived.
+func (n *Node) nextHop(k id.ID, tried map[id.ID]bool) (ref NodeRef, self bool, emptySlot bool) {
+	excl := n.isExcluded(tried)
+	if n.ls.InRange(k) {
+		best, other := n.ls.Closest(k, excl)
+		if !other {
+			return n.self, true, false
+		}
+		return best, false, false
+	}
+	r := id.CommonPrefixLen(k, n.self.ID, n.cfg.B)
+	if ref, ok := n.rt.BestForKey(k, excl); ok {
+		return ref, false, false
+	}
+	// The slot is empty (or excluded): fall back to any strictly closer
+	// node with a prefix match of at least r, in the routing table or the
+	// leaf set, and remember to trigger passive repair for the slot.
+	if ref, ok := n.rt.AnyCloser(k, r, excl); ok {
+		return ref, false, true
+	}
+	var best NodeRef
+	found := false
+	for _, m := range n.ls.Members() {
+		if excl(m.ID) {
+			continue
+		}
+		if id.CommonPrefixLen(k, m.ID, n.cfg.B) >= r && id.CloserToKey(k, m.ID, n.self.ID) {
+			if !found || id.CloserToKey(k, m.ID, best.ID) {
+				best, found = m, true
+			}
+		}
+	}
+	if found {
+		return best, false, true
+	}
+	return n.self, true, false
+}
+
+// routeLookup advances a lookup one overlay hop (or delivers it). The
+// application's Forward hook can consume the message instead.
+func (n *Node) routeLookup(lk *Lookup, tried map[id.ID]bool) {
+	next, self, emptySlot := n.nextHop(lk.Key, tried)
+	if self {
+		n.receiveRootLookup(lk)
+		return
+	}
+	if n.app != nil && !n.app.Forward(lk) {
+		return
+	}
+	if emptySlot {
+		n.requestPassiveRepair(lk.Key, next)
+	}
+	n.sendHop(lk, nil, lk.Key, next, tried, !lk.NoAck)
+}
+
+// routeJoin advances a join request one hop towards the joiner's id. The
+// joiner itself is excluded from next-hop selection: it may already appear
+// in routing state (opportunistic insertion on direct contact), but the
+// join must terminate at the existing node closest to the joiner's id.
+func (n *Node) routeJoin(jr *JoinRequest, tried map[id.ID]bool) {
+	if tried == nil {
+		tried = make(map[id.ID]bool, 1)
+	}
+	tried[jr.Joiner.ID] = true
+	next, self, emptySlot := n.nextHop(jr.Joiner.ID, tried)
+	if self {
+		n.receiveRootJoin(jr)
+		return
+	}
+	if emptySlot {
+		n.requestPassiveRepair(jr.Joiner.ID, next)
+	}
+	n.sendHop(nil, jr, jr.Joiner.ID, next, tried, true)
+}
+
+// sendHop transmits one overlay hop inside an Envelope, arming the per-hop
+// retransmission timer when acks are in use.
+func (n *Node) sendHop(lk *Lookup, jr *JoinRequest, key id.ID, to NodeRef, tried map[id.ID]bool, needAck bool) {
+	n.nextXfer++
+	xfer := n.nextXfer
+	env := &Envelope{
+		Xfer:    xfer,
+		NeedAck: needAck,
+		From:    n.self,
+		Lookup:  lk,
+		Join:    jr,
+		TrtHint: n.trtLocal,
+	}
+	if tried == nil {
+		tried = make(map[id.ID]bool)
+	}
+	tried[to.ID] = true
+	if needAck {
+		ph := &pendingHop{
+			lookup:  lk,
+			join:    jr,
+			key:     key,
+			to:      to,
+			tried:   tried,
+			sentAt:  n.env.Now(),
+			needAck: true,
+		}
+		n.pending[xfer] = ph
+		ph.timer = n.schedule(n.rtoFor(to), func() { n.hopTimeout(xfer) })
+	}
+	n.send(to, env)
+}
+
+// rtoFor computes the per-hop retransmission timeout for a destination,
+// seeded from the routing table's measured distance when no ack samples
+// exist yet.
+func (n *Node) rtoFor(to NodeRef) time.Duration {
+	est := n.rto[to.ID]
+	fallback := 500 * time.Millisecond
+	if rtt, ok := n.rt.RTT(to.ID); ok {
+		fallback = 2 * rtt
+	}
+	if est == nil {
+		return clampDuration(fallback, n.cfg.MinRTO, n.cfg.MaxRTO)
+	}
+	return est.rto(fallback, n.cfg.MinRTO, n.cfg.MaxRTO)
+}
+
+// hopTimeout fires when a per-hop ack was not received in time: the next
+// hop is temporarily excluded from routing, probed (it is only marked
+// faulty if the probe times out — aggressive retransmission must not cause
+// false positives), and the message is rerouted to an alternative node.
+func (n *Node) hopTimeout(xfer uint64) {
+	ph, ok := n.pending[xfer]
+	if !ok {
+		return
+	}
+	delete(n.pending, xfer)
+	n.counters.Retransmits++
+	n.excluded[ph.to.ID] = true
+	n.suspect(ph.to)
+	ph.attempts++
+	if ph.attempts >= n.cfg.MaxRouteAttempts {
+		if ph.lookup != nil {
+			n.obs.LookupDropped(n, ph.lookup, DropRetries)
+		}
+		return
+	}
+	n.reroute(ph)
+}
+
+// reroute re-sends a timed-out hop to an alternative next hop, marking the
+// retransmission for traffic accounting. When no alternative exists but a
+// closer excluded node remains (typically the key's root whose ack was
+// lost), the hop is retransmitted to it with exponential backoff rather
+// than mis-delivered locally — the suspect's probe resolves the situation
+// either way (reply clears the exclusion; timeout removes the node).
+func (n *Node) reroute(ph *pendingHop) {
+	next, self, emptySlot := n.nextHop(ph.key, ph.tried)
+	if self && n.closerExcludedExists(ph.key, ph.tried) {
+		n.retransmitSame(ph)
+		return
+	}
+	if self {
+		if ph.lookup != nil {
+			n.receiveRootLookup(ph.lookup)
+		} else if ph.join != nil {
+			n.receiveRootJoin(ph.join)
+		}
+		return
+	}
+	if emptySlot {
+		n.requestPassiveRepair(ph.key, next)
+	}
+	n.nextXfer++
+	xfer := n.nextXfer
+	env := &Envelope{
+		Xfer:    xfer,
+		NeedAck: true,
+		Retx:    true,
+		From:    n.self,
+		Lookup:  ph.lookup,
+		Join:    ph.join,
+		TrtHint: n.trtLocal,
+	}
+	ph.tried[next.ID] = true
+	ph.to = next
+	ph.sentAt = n.env.Now()
+	ph.retx = true
+	n.pending[xfer] = ph
+	ph.timer = n.schedule(n.rtoFor(next), func() { n.hopTimeout(xfer) })
+	n.send(next, env)
+}
+
+// retransmitSame re-sends the hop to its previous destination with an
+// exponentially backed-off timeout.
+func (n *Node) retransmitSame(ph *pendingHop) {
+	n.nextXfer++
+	xfer := n.nextXfer
+	env := &Envelope{
+		Xfer:    xfer,
+		NeedAck: true,
+		Retx:    true,
+		From:    n.self,
+		Lookup:  ph.lookup,
+		Join:    ph.join,
+		TrtHint: n.trtLocal,
+	}
+	ph.sentAt = n.env.Now()
+	ph.retx = true
+	n.pending[xfer] = ph
+	rto := n.rtoFor(ph.to) << uint(ph.attempts)
+	rto = clampDuration(rto, n.cfg.MinRTO, n.cfg.MaxRTO)
+	ph.timer = n.schedule(rto, func() { n.hopTimeout(xfer) })
+	n.send(ph.to, env)
+}
+
+// handleEnvelope processes one received overlay hop: acknowledge, then
+// route the payload onwards.
+func (n *Node) handleEnvelope(env *Envelope) {
+	if env.NeedAck {
+		n.send(env.From, &Ack{Xfer: env.Xfer, From: n.self, TrtHint: n.trtLocal})
+	}
+	switch {
+	case env.Lookup != nil:
+		lk := env.Lookup
+		lk.Hops++
+		if lk.Hops > n.cfg.LookupTTL {
+			n.obs.LookupDropped(n, lk, DropTTL)
+			return
+		}
+		n.routeLookup(lk, nil)
+	case env.Join != nil:
+		jr := env.Join
+		jr.Hops++
+		// Joins use their own generous hop bound: LookupTTL is an
+		// application-facing knob and must not break the join protocol.
+		const joinTTL = 128
+		if jr.Hops > joinTTL {
+			return
+		}
+		// Nodes along the join route contribute the routing-table rows
+		// that match the joiner's prefix, plus themselves.
+		shared := id.CommonPrefixLen(n.self.ID, jr.Joiner.ID, n.cfg.B)
+		jr.Rows = append(jr.Rows, n.rt.RowsUpTo(shared)...)
+		jr.Rows = append(jr.Rows, n.self)
+		n.routeJoin(jr, nil)
+	}
+}
+
+// handleAck completes a per-hop transfer and feeds the RTT sample to the
+// estimator (first transmissions only — Karn's rule).
+func (n *Node) handleAck(ack *Ack) {
+	ph, ok := n.pending[ack.Xfer]
+	if !ok {
+		return
+	}
+	delete(n.pending, ack.Xfer)
+	if ph.timer != nil {
+		ph.timer.Cancel()
+	}
+	if !ph.retx {
+		est := n.rto[ph.to.ID]
+		if est == nil {
+			est = &rttEstimator{}
+			n.rto[ph.to.ID] = est
+		}
+		est.observe(n.env.Now() - ph.sentAt)
+	}
+}
+
+// closerExcludedExists reports whether some node currently excluded from
+// routing (suspected after a missed ack, or already tried for this
+// message) is closer to the key than the local node. Delivering while such
+// a node exists would violate consistency: the suspect is probably alive
+// (aggressive retransmission timeouts are prone to false positives), and
+// it — not us — is the key's root.
+func (n *Node) closerExcludedExists(k id.ID, tried map[id.ID]bool) bool {
+	if !n.cfg.HoldOnSuspect {
+		return false
+	}
+	for _, m := range n.ls.Members() {
+		if !n.excluded[m.ID] && !tried[m.ID] {
+			continue
+		}
+		if _, bad := n.failed[m.ID]; bad {
+			continue
+		}
+		if id.CloserToKey(k, m.ID, n.self.ID) {
+			return true
+		}
+	}
+	return false
+}
+
+// receiveRootLookup is Figure 2's receive-root for lookups: deliver only
+// when active, never while a leaf-set side is empty (unless the ring is a
+// believed singleton), and never while a closer suspected-but-unconfirmed
+// node exists — the message is held until the suspect's probe resolves.
+func (n *Node) receiveRootLookup(lk *Lookup) {
+	if !n.active || !n.canDeliver() || n.closerExcludedExists(lk.Key, nil) {
+		n.holdLookup(lk)
+		return
+	}
+	n.counters.DeliveredLookups++
+	n.obs.Delivered(n, lk)
+	if n.app != nil {
+		n.app.Deliver(lk)
+	}
+}
+
+// canDeliver implements the paper's guard: no delivery while Li.left or
+// Li.right is empty — except in a singleton overlay where both are empty.
+func (n *Node) canDeliver() bool {
+	lEmpty := len(n.ls.Left()) == 0
+	rEmpty := len(n.ls.Right()) == 0
+	if lEmpty && rEmpty {
+		return true
+	}
+	return !lEmpty && !rEmpty
+}
+
+// receiveRootJoin answers a join request that reached the joiner's root.
+func (n *Node) receiveRootJoin(jr *JoinRequest) {
+	if !n.active {
+		// The paper buffers and replays; a join request is retried by the
+		// joiner anyway, so dropping is acceptable here — but replaying is
+		// cheap and faster, so hold it via re-route after activation.
+		return
+	}
+	rows := append(append([]NodeRef(nil), jr.Rows...), n.self)
+	shared := id.CommonPrefixLen(n.self.ID, jr.Joiner.ID, n.cfg.B)
+	rows = append(rows, n.rt.RowsUpTo(shared)...)
+	n.send(jr.Joiner, &JoinReply{Rows: rows, Leaves: n.ls.Members()})
+}
+
+// requestPassiveRepair asks the chosen next hop for an entry to fill the
+// empty routing slot that was discovered while routing key.
+func (n *Node) requestPassiveRepair(k id.ID, nextHop NodeRef) {
+	row := id.CommonPrefixLen(k, n.self.ID, n.cfg.B)
+	if row >= n.rt.NumRows() {
+		return
+	}
+	col := k.Digit(row, n.cfg.B)
+	n.send(nextHop, &RepairRequest{From: n.self, Row: row, Col: col})
+}
+
+// handleRepairRequest returns candidates for the requester's empty slot:
+// nodes (possibly ourselves) whose identifiers match the requester's
+// prefix of length Row and have digit Col at position Row.
+func (n *Node) handleRepairRequest(req *RepairRequest) {
+	matches := func(x id.ID) bool {
+		return id.CommonPrefixLen(x, req.From.ID, n.cfg.B) >= req.Row &&
+			x.Digit(req.Row, n.cfg.B) == req.Col
+	}
+	var out []NodeRef
+	if matches(n.self.ID) {
+		out = append(out, n.self)
+	}
+	for _, e := range n.rt.Entries() {
+		if matches(e.ID) {
+			out = append(out, e)
+		}
+	}
+	for _, e := range n.ls.Members() {
+		if matches(e.ID) {
+			out = append(out, e)
+		}
+	}
+	if len(out) == 0 {
+		return
+	}
+	if len(out) > 4 {
+		out = out[:4]
+	}
+	n.send(req.From, &RepairReply{From: n.self, Row: req.Row, Col: req.Col, Entries: out})
+}

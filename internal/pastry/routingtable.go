@@ -1,0 +1,225 @@
+package pastry
+
+import (
+	"time"
+
+	"mspastry/internal/id"
+)
+
+// RoutingTable is Pastry's prefix-routing matrix: row r, column c holds a
+// node whose identifier shares the first r digits with the local node and
+// has digit c in position r. Entries carry the measured round-trip delay
+// when known, so proximity neighbour selection can keep the closest
+// candidate per slot.
+type RoutingTable struct {
+	self  id.ID
+	b     int
+	rows  [][]rtEntry
+	count int
+}
+
+type rtEntry struct {
+	ref    NodeRef
+	rtt    time.Duration
+	hasRTT bool
+	used   bool
+}
+
+// NewRoutingTable creates an empty routing table for the given local id and
+// digit width b.
+func NewRoutingTable(self id.ID, b int) *RoutingTable {
+	rows := make([][]rtEntry, id.NumDigits(b))
+	cols := 1 << b
+	for i := range rows {
+		rows[i] = make([]rtEntry, cols)
+	}
+	return &RoutingTable{self: self, b: b, rows: rows}
+}
+
+// Slot returns the (row, column) a node occupies in this table, or ok=false
+// for the local node itself.
+func (rt *RoutingTable) Slot(x id.ID) (row, col int, ok bool) {
+	r := id.CommonPrefixLen(rt.self, x, rt.b)
+	if r >= len(rt.rows) {
+		return 0, 0, false
+	}
+	return r, x.Digit(r, rt.b), true
+}
+
+// Get returns the entry at (row, col) if present.
+func (rt *RoutingTable) Get(row, col int) (NodeRef, bool) {
+	e := rt.rows[row][col]
+	return e.ref, e.used
+}
+
+// Contains reports whether x occupies its slot in the table.
+func (rt *RoutingTable) Contains(x id.ID) bool {
+	row, col, ok := rt.Slot(x)
+	if !ok {
+		return false
+	}
+	e := rt.rows[row][col]
+	return e.used && e.ref.ID == x
+}
+
+// RTT returns the measured round-trip delay for a node in the table.
+func (rt *RoutingTable) RTT(x id.ID) (time.Duration, bool) {
+	row, col, ok := rt.Slot(x)
+	if !ok {
+		return 0, false
+	}
+	e := rt.rows[row][col]
+	if !e.used || e.ref.ID != x || !e.hasRTT {
+		return 0, false
+	}
+	return e.rtt, true
+}
+
+// Add inserts a node with unknown distance. It only fills an empty slot
+// (proximity neighbour selection never evicts a measured entry for an
+// unmeasured one) and reports whether the table changed.
+func (rt *RoutingTable) Add(ref NodeRef) bool {
+	if ref.IsZero() || ref.ID == rt.self {
+		return false
+	}
+	row, col, ok := rt.Slot(ref.ID)
+	if !ok {
+		return false
+	}
+	e := &rt.rows[row][col]
+	if e.used {
+		return false
+	}
+	*e = rtEntry{ref: ref, used: true}
+	rt.count++
+	return true
+}
+
+// AddWithRTT inserts a node with a measured round-trip delay, replacing the
+// current occupant if the new node is strictly closer (or the occupant's
+// distance is unknown). Reports whether the table changed.
+func (rt *RoutingTable) AddWithRTT(ref NodeRef, rtt time.Duration) bool {
+	if ref.IsZero() || ref.ID == rt.self {
+		return false
+	}
+	row, col, ok := rt.Slot(ref.ID)
+	if !ok {
+		return false
+	}
+	e := &rt.rows[row][col]
+	switch {
+	case !e.used:
+		rt.count++
+	case e.ref.ID == ref.ID:
+		e.rtt, e.hasRTT = rtt, true
+		return false
+	case e.hasRTT && e.rtt <= rtt:
+		return false
+	}
+	*e = rtEntry{ref: ref, rtt: rtt, hasRTT: true, used: true}
+	return true
+}
+
+// Remove deletes x from the table if present.
+func (rt *RoutingTable) Remove(x id.ID) bool {
+	row, col, ok := rt.Slot(x)
+	if !ok {
+		return false
+	}
+	e := &rt.rows[row][col]
+	if !e.used || e.ref.ID != x {
+		return false
+	}
+	*e = rtEntry{}
+	rt.count--
+	return true
+}
+
+// Row returns the non-empty entries of row r.
+func (rt *RoutingTable) Row(r int) []NodeRef {
+	if r < 0 || r >= len(rt.rows) {
+		return nil
+	}
+	var out []NodeRef
+	for _, e := range rt.rows[r] {
+		if e.used {
+			out = append(out, e.ref)
+		}
+	}
+	return out
+}
+
+// NumRows returns the number of rows (identifier digits).
+func (rt *RoutingTable) NumRows() int { return len(rt.rows) }
+
+// Count returns the number of occupied slots.
+func (rt *RoutingTable) Count() int { return rt.count }
+
+// Entries returns every node in the table.
+func (rt *RoutingTable) Entries() []NodeRef {
+	out := make([]NodeRef, 0, rt.count)
+	for _, row := range rt.rows {
+		for _, e := range row {
+			if e.used {
+				out = append(out, e.ref)
+			}
+		}
+	}
+	return out
+}
+
+// RowsUpTo returns all entries in rows 0..maxRow inclusive, used when
+// answering join requests (a node on the join route contributes the rows
+// that match the joiner's prefix).
+func (rt *RoutingTable) RowsUpTo(maxRow int) []NodeRef {
+	if maxRow >= len(rt.rows) {
+		maxRow = len(rt.rows) - 1
+	}
+	var out []NodeRef
+	for r := 0; r <= maxRow; r++ {
+		for _, e := range rt.rows[r] {
+			if e.used {
+				out = append(out, e.ref)
+			}
+		}
+	}
+	return out
+}
+
+// BestForKey returns the routing-table entry for the next hop of key k: the
+// slot (r, c) where r is the shared prefix length of k and the local id and
+// c is k's r-th digit. ok is false when that slot is empty or excluded.
+func (rt *RoutingTable) BestForKey(k id.ID, excluded func(id.ID) bool) (NodeRef, bool) {
+	r := id.CommonPrefixLen(rt.self, k, rt.b)
+	if r >= len(rt.rows) {
+		return NodeRef{}, false
+	}
+	e := rt.rows[r][k.Digit(r, rt.b)]
+	if !e.used {
+		return NodeRef{}, false
+	}
+	if excluded != nil && excluded(e.ref.ID) {
+		return NodeRef{}, false
+	}
+	return e.ref, true
+}
+
+// AnyCloser scans the table for any node that is strictly closer to k than
+// the local node and shares a prefix with k of at least length r — the
+// fault-tolerant fallback of Pastry's route function.
+func (rt *RoutingTable) AnyCloser(k id.ID, r int, excluded func(id.ID) bool) (NodeRef, bool) {
+	for row := len(rt.rows) - 1; row >= 0; row-- {
+		for _, e := range rt.rows[row] {
+			if !e.used {
+				continue
+			}
+			if excluded != nil && excluded(e.ref.ID) {
+				continue
+			}
+			if id.CommonPrefixLen(k, e.ref.ID, rt.b) >= r && id.CloserToKey(k, e.ref.ID, rt.self) {
+				return e.ref, true
+			}
+		}
+	}
+	return NodeRef{}, false
+}

@@ -1,0 +1,180 @@
+package pastry
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mspastry/internal/id"
+)
+
+func TestPFaultyProperties(t *testing.T) {
+	// Pf(T, mu) is 0 at T=0, increases with T, and approaches 1.
+	mu := 1.0 / 8280 // Gnutella: one failure per mean session of 2.3h
+	if got := pFaulty(0, mu); got != 0 {
+		t.Fatalf("Pf(0) = %v", got)
+	}
+	prev := 0.0
+	for _, T := range []float64{1, 10, 100, 1000, 10000, 1e6} {
+		p := pFaulty(T, mu)
+		if p <= prev {
+			t.Fatalf("Pf not increasing at T=%v: %v <= %v", T, p, prev)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("Pf out of range: %v", p)
+		}
+		prev = p
+	}
+	if got := pFaulty(1e9, mu); got < 0.99 {
+		t.Fatalf("Pf(huge) = %v, want ~1", got)
+	}
+	// Small-x expansion: Pf ~ T*mu/2.
+	small := pFaulty(10, mu)
+	approx := 10 * mu / 2
+	if math.Abs(small-approx)/approx > 0.01 {
+		t.Fatalf("small-x Pf = %v, want ~%v", small, approx)
+	}
+}
+
+func TestExpectedHops(t *testing.T) {
+	// (2^b-1)/2^b * log_2^b(N): for b=4, N=65536 -> 15/16*4 = 3.75.
+	if got := expectedHops(65536, 4); math.Abs(got-3.75) > 1e-9 {
+		t.Fatalf("hops(65536,4) = %v, want 3.75", got)
+	}
+	// For b=1, N=1024 -> 1/2*10 = 5.
+	if got := expectedHops(1024, 1); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("hops(1024,1) = %v, want 5", got)
+	}
+	if got := expectedHops(1, 4); got != 1 {
+		t.Fatalf("hops floor = %v, want 1", got)
+	}
+}
+
+func TestRawLossRateMonotone(t *testing.T) {
+	mu := 1.2e-4
+	prev := -1.0
+	for _, trt := range []float64{9, 30, 60, 120, 300, 600, 1800} {
+		lr := rawLossRate(30, trt, 3, mu, 2.57, 2)
+		if lr <= prev {
+			t.Fatalf("Lr not increasing at Trt=%v", trt)
+		}
+		prev = lr
+	}
+}
+
+func TestSolveTrtHitsTarget(t *testing.T) {
+	// Gnutella-like regime: mu = 1/2.3h, N=2000, b=4.
+	mu := 1.0 / (2.3 * 3600)
+	hops := expectedHops(2000, 4)
+	trt := solveTrt(0.05, 30, 3, mu, hops, 2, 9, 3600)
+	got := rawLossRate(30, trt, 3, mu, hops, 2)
+	if math.Abs(got-0.05) > 0.002 {
+		t.Fatalf("solved Trt=%vs gives Lr=%v, want 0.05", trt, got)
+	}
+	// The paper's regime puts Trt in the hundreds of seconds here.
+	if trt < 100 || trt > 1500 {
+		t.Fatalf("Trt = %vs outside plausible range", trt)
+	}
+}
+
+func TestSolveTrtTighterTargetNeedsFasterProbing(t *testing.T) {
+	mu := 1.0 / (2.3 * 3600)
+	hops := expectedHops(2000, 4)
+	t5 := solveTrt(0.05, 30, 3, mu, hops, 2, 9, 3600)
+	t1 := solveTrt(0.01, 30, 3, mu, hops, 2, 9, 3600)
+	if t1 >= t5 {
+		t.Fatalf("1%% target Trt (%v) should be below 5%% target Trt (%v)", t1, t5)
+	}
+	// The paper reports ~2.6x more control traffic from 5%->1%; probing
+	// traffic scales as 1/Trt, so expect a substantial ratio.
+	if ratio := t5 / t1; ratio < 2 {
+		t.Fatalf("Trt ratio 5%%/1%% = %v, want > 2", ratio)
+	}
+}
+
+func TestSolveTrtBounds(t *testing.T) {
+	// Very low failure rate: even the max Trt meets the target.
+	if got := solveTrt(0.05, 30, 3, 1e-9, 3, 2, 9, 3600); got != 3600 {
+		t.Fatalf("low-mu Trt = %v, want max", got)
+	}
+	// Very high failure rate: clamp at the minimum.
+	if got := solveTrt(0.05, 30, 3, 0.01, 3, 2, 9, 3600); got != 9 {
+		t.Fatalf("high-mu Trt = %v, want min", got)
+	}
+}
+
+func TestSolveTrtScalesInverselyWithMu(t *testing.T) {
+	hops := 3.0
+	a := solveTrt(0.05, 30, 3, 1e-4, hops, 2, 1, 1e6)
+	b := solveTrt(0.05, 30, 3, 2e-4, hops, 2, 1, 1e6)
+	// Doubling mu should roughly halve the tolerable detection period.
+	ratio := a / b
+	if ratio < 1.7 || ratio > 2.5 {
+		t.Fatalf("Trt(mu)/Trt(2mu) = %v, want ~2", ratio)
+	}
+}
+
+func TestEstimatorsOnNode(t *testing.T) {
+	n := newTestNode(t, id.New(1<<60, 0))
+	// Empty state: N estimate is ~1, mu is 0.
+	if got := n.estimateN(); got != 1 {
+		t.Fatalf("empty N estimate = %v", got)
+	}
+	if got := n.estimateMu(time.Hour); got != 0 {
+		t.Fatalf("empty mu estimate = %v", got)
+	}
+	// Build a leaf set whose density implies N=1024: 8 members (l=8)
+	// spanning 8/1024 of the ring.
+	self := n.self.ID
+	step := id.Max
+	step.Hi >>= 10 // ~2^118 = ring/1024
+	for i := 1; i <= 4; i++ {
+		off := id.New(uint64(i)*step.Hi, 0)
+		n.ls.Add(refID(self.Add(off)))
+		n.ls.Add(refID(self.Sub(off)))
+	}
+	est := n.estimateN()
+	if est < 700 || est > 1500 {
+		t.Fatalf("N estimate = %v, want ~1024", est)
+	}
+}
+
+func TestMuEstimateFromHistory(t *testing.T) {
+	n := newTestNode(t, id.New(1<<60, 0))
+	// Spread nodes across distinct routing slots (vary the first digit
+	// and the second) and count how many the table actually holds.
+	for i := uint64(0); i < 24; i++ {
+		x := id.New(i<<60|(i%4)<<56, i)
+		n.rt.Add(NodeRef{ID: x, Addr: x.String()[:10]})
+	}
+	m := n.monitoredNodes()
+	if m < 10 {
+		t.Fatalf("monitored = %d, want a reasonable population", m)
+	}
+	// Observe 15 failures uniformly over 1000s (history K=16 incl. join
+	// marker at t=0 keeps all of them).
+	for i := 1; i <= 15; i++ {
+		n.recordFailure(time.Duration(i) * 66 * time.Second)
+	}
+	mu := n.estimateMu(1000 * time.Second)
+	want := 15.0 / (float64(m) * 990) // full history: span first..last
+	if math.Abs(mu-want)/want > 0.05 {
+		t.Fatalf("mu = %v, want ~%v (m=%d)", mu, want, m)
+	}
+}
+
+func TestRetuneAdoptsMedianOfHints(t *testing.T) {
+	n := newTestNode(t, id.New(1<<60, 0))
+	// Make the local estimate land at max (no failures observed).
+	for i := uint64(1); i <= 5; i++ {
+		ref := NodeRef{ID: id.New(i<<40, i), Addr: string(rune('a' + i))}
+		n.rt.Add(ref)
+		n.trtHints[ref.ID] = time.Duration(i) * 100 * time.Second
+	}
+	n.retune(time.Hour)
+	// Values: local=maxTrt, hints 100..500s -> median of 6 values is
+	// between 300 and 400s.
+	if n.trtCurrent < 300*time.Second || n.trtCurrent > 400*time.Second {
+		t.Fatalf("median Trt = %v, want in [300s,400s]", n.trtCurrent)
+	}
+}

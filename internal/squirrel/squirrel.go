@@ -1,0 +1,304 @@
+// Package squirrel implements a decentralized peer-to-peer web cache in
+// the style of Squirrel (Iyer, Rowstron, Druschel, PODC 2002), the
+// application the paper uses to validate its simulator (Figure 8).
+//
+// Each participating machine runs a Squirrel proxy on an MSPastry node.
+// Web object keys are the SHA-1 of the object's URL; the key's root node
+// is the object's "home node" and caches it (the home-store model). A
+// request is routed through the overlay to the home node, which answers
+// from its cache or fetches from the origin server and then answers; the
+// response travels back in a single direct message.
+package squirrel
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+
+	"mspastry/internal/id"
+	"mspastry/internal/pastry"
+)
+
+// Origin abstracts the origin web server: it produces the body for a URL.
+// In the simulator this is synthetic; in a deployment it would issue a real
+// HTTP request.
+type Origin interface {
+	Fetch(url string) ([]byte, error)
+}
+
+// OriginFunc adapts a function to the Origin interface.
+type OriginFunc func(url string) ([]byte, error)
+
+// Fetch implements Origin.
+func (f OriginFunc) Fetch(url string) ([]byte, error) { return f(url) }
+
+// Outcome classifies how a request was satisfied.
+type Outcome int
+
+const (
+	// HitLocal means the local proxy cache had a fresh copy.
+	HitLocal Outcome = iota + 1
+	// HitRemote means the home node had the object cached.
+	HitRemote
+	// MissOrigin means the home node fetched the object from the origin.
+	MissOrigin
+	// Failed means the request errored or timed out.
+	Failed
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case HitLocal:
+		return "hit-local"
+	case HitRemote:
+		return "hit-remote"
+	case MissOrigin:
+		return "miss-origin"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Stats counts cache activity on one proxy.
+type Stats struct {
+	Requests    uint64
+	LocalHits   uint64
+	RemoteHits  uint64
+	OriginMiss  uint64
+	Failures    uint64
+	HomeServes  uint64 // requests served by this node as a home node
+	HomeFetches uint64 // origin fetches performed as a home node
+}
+
+// Proxy is one Squirrel instance on an overlay node. It implements
+// pastry.App. All methods must be called from the node's Env context.
+type Proxy struct {
+	node   *pastry.Node
+	origin Origin
+
+	// home cache: objects this node stores as home node.
+	home *lru
+	// local cache: objects this node requested recently (browser cache).
+	local *lru
+
+	nextReq uint64
+	pending map[uint64]pendingReq
+
+	stats Stats
+}
+
+// Config sizes the proxy caches.
+type Config struct {
+	HomeCacheEntries  int
+	LocalCacheEntries int
+}
+
+// DefaultConfig returns a modest cache sizing.
+func DefaultConfig() Config {
+	return Config{HomeCacheEntries: 4096, LocalCacheEntries: 512}
+}
+
+// New attaches a Squirrel proxy to node. It registers itself as the node's
+// application layer.
+func New(node *pastry.Node, origin Origin, cfg Config) *Proxy {
+	p := &Proxy{
+		node:    node,
+		origin:  origin,
+		home:    newLRU(cfg.HomeCacheEntries),
+		local:   newLRU(cfg.LocalCacheEntries),
+		pending: make(map[uint64]pendingReq),
+	}
+	node.SetApp(p)
+	return p
+}
+
+// Stats returns a snapshot of the proxy's counters.
+func (p *Proxy) Stats() Stats { return p.stats }
+
+// Node returns the underlying overlay node.
+func (p *Proxy) Node() *pastry.Node { return p.node }
+
+// Get requests a URL. done is invoked exactly once with the body and the
+// outcome (from the node's Env context). Requests to a crashed node fail
+// immediately.
+func (p *Proxy) Get(url string, done func(body []byte, outcome Outcome)) {
+	p.stats.Requests++
+	key := id.FromKey(url)
+	if body, ok := p.local.get(key); ok {
+		p.stats.LocalHits++
+		done(body, HitLocal)
+		return
+	}
+	p.nextReq++
+	reqID := p.nextReq
+	p.pending[reqID] = pendingReq{key: key, done: done}
+	payload := encodeRequest(reqID, url)
+	if _, ok := p.node.Lookup(key, payload); !ok {
+		delete(p.pending, reqID)
+		p.stats.Failures++
+		done(nil, Failed)
+	}
+}
+
+// Deliver implements pastry.App: the node is the home node for the
+// requested object.
+func (p *Proxy) Deliver(lk *pastry.Lookup) {
+	reqID, url, ok := decodeRequest(lk.Payload)
+	if !ok {
+		return // not a squirrel request (foreign traffic on a shared ring)
+	}
+	p.stats.HomeServes++
+	body, hit := p.home.get(lk.Key)
+	if !hit {
+		fetched, err := p.origin.Fetch(url)
+		if err != nil {
+			p.respond(lk.Origin, reqID, nil, Failed)
+			return
+		}
+		p.stats.HomeFetches++
+		body = fetched
+		p.home.put(lk.Key, body)
+	}
+	outcome := HitRemote
+	if !hit {
+		outcome = MissOrigin
+	}
+	if lk.Origin.ID == p.node.Ref().ID {
+		// The requester is its own home node: complete locally.
+		p.complete(reqID, body, outcome)
+		return
+	}
+	p.respond(lk.Origin, reqID, body, outcome)
+}
+
+// Forward implements pastry.App: Squirrel does not intercept routing.
+func (p *Proxy) Forward(*pastry.Lookup) bool { return true }
+
+// Direct implements pastry.App: a response from a home node.
+func (p *Proxy) Direct(from pastry.NodeRef, payload []byte) {
+	reqID, body, outcome, ok := decodeResponse(payload)
+	if !ok {
+		return
+	}
+	p.complete(reqID, body, outcome)
+}
+
+// pendingReq tracks one in-flight request.
+type pendingReq struct {
+	key  id.ID
+	done func([]byte, Outcome)
+}
+
+func (p *Proxy) complete(reqID uint64, body []byte, outcome Outcome) {
+	req, ok := p.pending[reqID]
+	if !ok {
+		return // duplicate or expired response
+	}
+	delete(p.pending, reqID)
+	switch outcome {
+	case HitRemote:
+		p.stats.RemoteHits++
+	case MissOrigin:
+		p.stats.OriginMiss++
+	case Failed:
+		p.stats.Failures++
+	}
+	if outcome != Failed && body != nil {
+		p.local.put(req.key, body)
+	}
+	req.done(body, outcome)
+}
+
+func (p *Proxy) respond(to pastry.NodeRef, reqID uint64, body []byte, outcome Outcome) {
+	p.node.SendDirect(to, encodeResponse(reqID, body, outcome))
+}
+
+// Wire formats for the squirrel payloads: a 1-byte kind, then fields.
+const (
+	kindRequest byte = iota + 1
+	kindResponse
+)
+
+func encodeRequest(reqID uint64, url string) []byte {
+	buf := make([]byte, 0, 16+len(url))
+	buf = append(buf, kindRequest)
+	buf = binary.AppendUvarint(buf, reqID)
+	return append(buf, url...)
+}
+
+func decodeRequest(buf []byte) (reqID uint64, url string, ok bool) {
+	if len(buf) < 2 || buf[0] != kindRequest {
+		return 0, "", false
+	}
+	v, n := binary.Uvarint(buf[1:])
+	if n <= 0 {
+		return 0, "", false
+	}
+	return v, string(buf[1+n:]), true
+}
+
+func encodeResponse(reqID uint64, body []byte, outcome Outcome) []byte {
+	buf := make([]byte, 0, 16+len(body))
+	buf = append(buf, kindResponse, byte(outcome))
+	buf = binary.AppendUvarint(buf, reqID)
+	return append(buf, body...)
+}
+
+func decodeResponse(buf []byte) (reqID uint64, body []byte, outcome Outcome, ok bool) {
+	if len(buf) < 3 || buf[0] != kindResponse {
+		return 0, nil, 0, false
+	}
+	outcome = Outcome(buf[1])
+	v, n := binary.Uvarint(buf[2:])
+	if n <= 0 {
+		return 0, nil, 0, false
+	}
+	return v, buf[2+n:], outcome, true
+}
+
+// lru is a size-bounded least-recently-used cache keyed by object id.
+type lru struct {
+	max   int
+	order *list.List
+	items map[id.ID]*list.Element
+}
+
+type lruEntry struct {
+	key  id.ID
+	body []byte
+}
+
+func newLRU(max int) *lru {
+	if max < 1 {
+		max = 1
+	}
+	return &lru{max: max, order: list.New(), items: make(map[id.ID]*list.Element)}
+}
+
+func (c *lru) get(key id.ID) ([]byte, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).body, true
+}
+
+func (c *lru) put(key id.ID, body []byte) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).body = body
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(&lruEntry{key: key, body: body})
+	c.items[key] = el
+	if c.order.Len() > c.max {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lru) len() int { return c.order.Len() }

@@ -1,0 +1,343 @@
+// Package stats accumulates the evaluation metrics defined in the paper
+// (§5.2): incorrect delivery rate and lookup loss rate for dependability;
+// relative delay penalty (RDP) and control traffic (messages per second per
+// node, broken down by category as in Figure 4) for performance; plus join
+// latency for Figure 5.
+//
+// Metrics are windowed: the paper averages over 10-minute windows for the
+// Gnutella/OverNet traces and 1-hour windows for Microsoft.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mspastry/internal/pastry"
+)
+
+// numCategories is the number of pastry message categories (1-based enums).
+const numCategories = pastry.CategoryCount
+
+// Window accumulates raw counts for one averaging window.
+type Window struct {
+	Start time.Duration
+	// ControlSent counts sent messages by category (lookups included at
+	// index CatLookup but excluded from control-traffic rates).
+	ControlSent [numCategories]int
+	// Issued counts lookups issued in this window; Delivered, Incorrect
+	// and Lost are attributed to the window the lookup was issued in.
+	Issued    int
+	Delivered int
+	Incorrect int
+	Lost      int
+	// DelaySum and NetDelaySum accumulate achieved and direct delays (in
+	// seconds) for delivered lookups with a non-zero network delay; their
+	// ratio is the window's RDP. RatioSum/RDPCount tracks the secondary
+	// mean-of-ratios form, which is dominated by near-zero-denominator
+	// pairs and reported for comparison only.
+	DelaySum    float64
+	NetDelaySum float64
+	RatioSum    float64
+	RDPCount    int
+	HopsSum     int
+	// nodeSeconds integrates the active-node count over the window.
+	nodeSeconds float64
+}
+
+// Collector accumulates windows over a measured run.
+type Collector struct {
+	window   time.Duration
+	duration time.Duration
+	wins     []Window
+
+	activeCount  int
+	activeCursor time.Duration
+
+	joinLatencies []time.Duration
+}
+
+// NewCollector creates a collector for a run of the given duration with
+// the given averaging window.
+func NewCollector(duration, window time.Duration) *Collector {
+	if window <= 0 || duration <= 0 {
+		panic("stats: duration and window must be positive")
+	}
+	nwin := int((duration + window - 1) / window)
+	c := &Collector{window: window, duration: duration, wins: make([]Window, nwin)}
+	for i := range c.wins {
+		c.wins[i].Start = time.Duration(i) * window
+	}
+	return c
+}
+
+// winIndex maps a time to its window, clamping to the run bounds. Times
+// before the measured interval (setup phase) return -1.
+func (c *Collector) winIndex(t time.Duration) int {
+	if t < 0 {
+		return -1
+	}
+	i := int(t / c.window)
+	if i >= len(c.wins) {
+		i = len(c.wins) - 1
+	}
+	return i
+}
+
+// MsgSent records one sent message at time t.
+func (c *Collector) MsgSent(t time.Duration, cat pastry.Category) {
+	if i := c.winIndex(t); i >= 0 {
+		c.wins[i].ControlSent[cat]++
+	}
+}
+
+// LookupIssued records a lookup entering the overlay at time t.
+func (c *Collector) LookupIssued(t time.Duration) {
+	if i := c.winIndex(t); i >= 0 {
+		c.wins[i].Issued++
+	}
+}
+
+// LookupDelivered records a delivery for a lookup issued at issueT, with
+// the achieved delay and the direct network delay between source and root
+// (zero when the source routed to itself, which excludes the sample from
+// the delay-penalty statistics).
+func (c *Collector) LookupDelivered(issueT time.Duration, correct bool, delay, netDelay time.Duration, hops int) {
+	i := c.winIndex(issueT)
+	if i < 0 {
+		return
+	}
+	w := &c.wins[i]
+	w.Delivered++
+	if !correct {
+		w.Incorrect++
+	}
+	if netDelay > 0 {
+		w.DelaySum += delay.Seconds()
+		w.NetDelaySum += netDelay.Seconds()
+		w.RatioSum += float64(delay) / float64(netDelay)
+		w.RDPCount++
+	}
+	w.HopsSum += hops
+}
+
+// LookupLost records that a lookup issued at issueT was never delivered.
+func (c *Collector) LookupLost(issueT time.Duration) {
+	if i := c.winIndex(issueT); i >= 0 {
+		c.wins[i].Lost++
+	}
+}
+
+// ActiveChanged updates the active-node count at time t (delta of +1 or
+// -1), integrating node-seconds into the windows in between.
+func (c *Collector) ActiveChanged(t time.Duration, delta int) {
+	c.integrateTo(t)
+	c.activeCount += delta
+	if c.activeCount < 0 {
+		panic("stats: negative active count")
+	}
+}
+
+func (c *Collector) integrateTo(t time.Duration) {
+	if t < 0 {
+		// Still in the setup phase: track the count, integrate nothing.
+		return
+	}
+	if c.activeCursor < 0 {
+		c.activeCursor = 0
+	}
+	if t > c.duration {
+		t = c.duration
+	}
+	for c.activeCursor < t {
+		i := c.winIndex(c.activeCursor)
+		winEnd := time.Duration(i+1) * c.window
+		seg := t
+		if winEnd < seg {
+			seg = winEnd
+		}
+		c.wins[i].nodeSeconds += float64(c.activeCount) * (seg - c.activeCursor).Seconds()
+		c.activeCursor = seg
+	}
+}
+
+// JoinLatency records one completed join.
+func (c *Collector) JoinLatency(d time.Duration) {
+	c.joinLatencies = append(c.joinLatencies, d)
+}
+
+// WindowStat is one finalized window row: the numbers the paper plots.
+type WindowStat struct {
+	Start time.Duration
+	// Active is the average number of active nodes in the window.
+	Active float64
+	// ControlPerNodeSec is control messages (everything except lookups)
+	// sent per second per node.
+	ControlPerNodeSec float64
+	// ByCategory breaks control traffic down as in Figure 4 (right).
+	ByCategory map[pastry.Category]float64
+	// RDP is the relative delay penalty for lookups issued in the window:
+	// total achieved delay over total direct delay (the ratio-of-means
+	// form, which is robust to near-zero direct delays).
+	RDP float64
+	// RDPMeanOfRatios is the per-lookup mean of delay ratios, reported
+	// for comparison; heavy-tailed when sources sit next to roots.
+	RDPMeanOfRatios float64
+	// MeanHops is the average overlay hop count.
+	MeanHops float64
+	// LossRate is lost lookups / issued; IncorrectRate is incorrect
+	// deliveries / issued.
+	LossRate      float64
+	IncorrectRate float64
+	Issued        int
+}
+
+// Finalize integrates the remaining node-seconds and produces per-window
+// rows.
+func (c *Collector) Finalize() []WindowStat {
+	c.integrateTo(c.duration)
+	out := make([]WindowStat, len(c.wins))
+	for i, w := range c.wins {
+		winLen := c.window
+		if end := c.duration - w.Start; end < winLen {
+			winLen = end
+		}
+		row := WindowStat{Start: w.Start, Issued: w.Issued, ByCategory: make(map[pastry.Category]float64)}
+		if winLen > 0 {
+			row.Active = w.nodeSeconds / winLen.Seconds()
+		}
+		if w.nodeSeconds > 0 {
+			var control int
+			for cat := 1; cat < numCategories; cat++ {
+				if !isControl(pastry.Category(cat)) {
+					continue
+				}
+				control += w.ControlSent[cat]
+				row.ByCategory[pastry.Category(cat)] = float64(w.ControlSent[cat]) / w.nodeSeconds
+			}
+			row.ControlPerNodeSec = float64(control) / w.nodeSeconds
+		}
+		if w.RDPCount > 0 && w.NetDelaySum > 0 {
+			row.RDP = w.DelaySum / w.NetDelaySum
+			row.RDPMeanOfRatios = w.RatioSum / float64(w.RDPCount)
+		}
+		if w.Delivered > 0 {
+			row.MeanHops = float64(w.HopsSum) / float64(w.Delivered)
+		}
+		if w.Issued > 0 {
+			row.LossRate = float64(w.Lost) / float64(w.Issued)
+			row.IncorrectRate = float64(w.Incorrect) / float64(w.Issued)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// Totals summarises a whole run.
+type Totals struct {
+	Issued, Delivered, Incorrect, Lost int
+	RDP                                float64
+	RDPMeanOfRatios                    float64
+	MeanHops                           float64
+	LossRate, IncorrectRate            float64
+	ControlPerNodeSec                  float64
+	// TotalPerNodeSec includes lookup and application traffic (the
+	// quantity the Squirrel validation in Figure 8 plots).
+	TotalPerNodeSec   float64
+	ByCategory        map[pastry.Category]float64
+	MeanActive        float64
+	Joins             int
+	MedianJoinLatency time.Duration
+}
+
+// Totals aggregates over the full run. Call after the run completes;
+// Finalize is invoked internally.
+func (c *Collector) Totals() Totals {
+	c.integrateTo(c.duration)
+	t := Totals{ByCategory: make(map[pastry.Category]float64)}
+	var delaySum, netDelaySum, ratioSum float64
+	var rdpN, hopsSum int
+	var nodeSec float64
+	control := make(map[pastry.Category]int)
+	for _, w := range c.wins {
+		t.Issued += w.Issued
+		t.Delivered += w.Delivered
+		t.Incorrect += w.Incorrect
+		t.Lost += w.Lost
+		delaySum += w.DelaySum
+		netDelaySum += w.NetDelaySum
+		ratioSum += w.RatioSum
+		rdpN += w.RDPCount
+		hopsSum += w.HopsSum
+		nodeSec += w.nodeSeconds
+		for cat := 1; cat < numCategories; cat++ {
+			control[pastry.Category(cat)] += w.ControlSent[cat]
+		}
+	}
+	if rdpN > 0 && netDelaySum > 0 {
+		t.RDP = delaySum / netDelaySum
+		t.RDPMeanOfRatios = ratioSum / float64(rdpN)
+	}
+	if t.Delivered > 0 {
+		t.MeanHops = float64(hopsSum) / float64(t.Delivered)
+	}
+	if t.Issued > 0 {
+		t.LossRate = float64(t.Lost) / float64(t.Issued)
+		t.IncorrectRate = float64(t.Incorrect) / float64(t.Issued)
+	}
+	if nodeSec > 0 {
+		var totalControl, totalAll int
+		for cat, cnt := range control {
+			totalAll += cnt
+			t.ByCategory[cat] = float64(cnt) / nodeSec
+			if isControl(cat) {
+				totalControl += cnt
+			}
+		}
+		t.ControlPerNodeSec = float64(totalControl) / nodeSec
+		t.TotalPerNodeSec = float64(totalAll) / nodeSec
+	}
+	t.MeanActive = nodeSec / c.duration.Seconds()
+	t.Joins = len(c.joinLatencies)
+	if len(c.joinLatencies) > 0 {
+		s := append([]time.Duration(nil), c.joinLatencies...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		t.MedianJoinLatency = s[len(s)/2]
+	}
+	return t
+}
+
+// JoinLatencyCDF returns (latency, cumulative fraction) points for the
+// join-latency CDF plotted in Figure 5 (right).
+func (c *Collector) JoinLatencyCDF() []CDFPoint {
+	if len(c.joinLatencies) == 0 {
+		return nil
+	}
+	s := append([]time.Duration(nil), c.joinLatencies...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := make([]CDFPoint, len(s))
+	for i, v := range s {
+		out[i] = CDFPoint{Latency: v, Fraction: float64(i+1) / float64(len(s))}
+	}
+	return out
+}
+
+// isControl reports whether a category counts as control traffic (the
+// paper: "all traffic except lookup messages"; direct application traffic
+// is likewise not control).
+func isControl(c pastry.Category) bool {
+	return c != pastry.CatLookup && c != pastry.CatApp
+}
+
+// CDFPoint is one point of a cumulative distribution.
+type CDFPoint struct {
+	Latency  time.Duration
+	Fraction float64
+}
+
+// String renders totals compactly for reports.
+func (t Totals) String() string {
+	return fmt.Sprintf(
+		"issued=%d delivered=%d loss=%.2e incorrect=%.2e rdp=%.2f hops=%.2f control=%.3f msgs/s/node active=%.0f",
+		t.Issued, t.Delivered, t.LossRate, t.IncorrectRate, t.RDP, t.MeanHops, t.ControlPerNodeSec, t.MeanActive)
+}

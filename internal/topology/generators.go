@@ -1,0 +1,192 @@
+package topology
+
+import (
+	"math/rand"
+)
+
+// GATechConfig parameterises the transit-stub generator. The zero value is
+// not useful; start from DefaultGATech. The paper's instance has 10 transit
+// domains with an average of 5 routers each, 10 stub domains per transit
+// router and an average of 10 routers per stub domain (5050 routers total).
+type GATechConfig struct {
+	TransitDomains    int
+	RoutersPerTransit int
+	StubsPerRouter    int
+	RoutersPerStub    int
+}
+
+// DefaultGATech returns the paper's GATech configuration (5050 routers).
+func DefaultGATech() GATechConfig {
+	return GATechConfig{TransitDomains: 10, RoutersPerTransit: 5, StubsPerRouter: 10, RoutersPerStub: 10}
+}
+
+// Scaled shrinks the topology by roughly factor in router count while
+// keeping its shape, for fast tests and benchmarks.
+func (c GATechConfig) Scaled(factor int) GATechConfig {
+	if factor <= 1 {
+		return c
+	}
+	c.StubsPerRouter = max(1, c.StubsPerRouter/factor)
+	c.RoutersPerStub = max(2, c.RoutersPerStub)
+	return c
+}
+
+// GATech generates a transit-stub topology. Stub domains attach to exactly
+// one transit router, so the routing hierarchy is enforced by construction:
+// no stub domain can act as transit.
+func GATech(cfg GATechConfig, rng *rand.Rand) *Network {
+	transit := cfg.TransitDomains * cfg.RoutersPerTransit
+	stubs := transit * cfg.StubsPerRouter
+	total := transit + stubs*cfg.RoutersPerStub
+	n := newNetwork("gatech", MetricRTT, total)
+
+	// Transit domains: each is a well-connected cluster; domains are linked
+	// by long core edges arranged in a ring plus random chords.
+	domains := make([][]int, cfg.TransitDomains)
+	next := 0
+	for d := range domains {
+		for r := 0; r < cfg.RoutersPerTransit; r++ {
+			domains[d] = append(domains[d], next)
+			next++
+		}
+		n.connectCluster(domains[d], cfg.RoutersPerTransit/2, 5, 20, rng)
+	}
+	for d := range domains {
+		e := (d + 1) % len(domains)
+		a := domains[d][rng.Intn(len(domains[d]))]
+		b := domains[e][rng.Intn(len(domains[e]))]
+		delay := 20 + rng.Float64()*40
+		n.addEdge(a, b, delay, delay)
+	}
+	for i := 0; i < cfg.TransitDomains; i++ { // extra inter-domain chords
+		d, e := rng.Intn(len(domains)), rng.Intn(len(domains))
+		if d == e {
+			continue
+		}
+		a := domains[d][rng.Intn(len(domains[d]))]
+		b := domains[e][rng.Intn(len(domains[e]))]
+		delay := 20 + rng.Float64()*40
+		n.addEdge(a, b, delay, delay)
+	}
+
+	// Stub domains: a small cluster hanging off one transit router.
+	for t := 0; t < transit; t++ {
+		for s := 0; s < cfg.StubsPerRouter; s++ {
+			ids := make([]int, cfg.RoutersPerStub)
+			for r := range ids {
+				ids[r] = next
+				next++
+			}
+			n.connectCluster(ids, cfg.RoutersPerStub/3, 1, 5, rng)
+			link := 2 + rng.Float64()*8
+			n.addEdge(t, ids[rng.Intn(len(ids))], link, link)
+		}
+	}
+	return n
+}
+
+// MercatorConfig parameterises the AS-level topology. The paper's Mercator
+// graph has 102,639 routers in 2,662 autonomous systems; the default here is
+// scaled down (the full size is reachable by setting the fields) because the
+// relevant property for the evaluation is the flatter, hop-count-metric
+// delay space, not the raw size.
+type MercatorConfig struct {
+	AS            int
+	RoutersPerAS  int
+	HopDelayMS    float64 // delay assigned to one IP hop
+	InterASDegree int     // average extra inter-AS edges per AS
+}
+
+// DefaultMercator returns a 250-AS, ~5000-router instance.
+func DefaultMercator() MercatorConfig {
+	return MercatorConfig{AS: 250, RoutersPerAS: 20, HopDelayMS: 5, InterASDegree: 3}
+}
+
+// Mercator generates an AS-structured topology routed AS-path-first: inter-AS
+// edges carry a large routing-weight penalty, so shortest-weight routes
+// minimise the number of AS crossings before minimising router hops — the
+// hierarchical routing policy described in the paper. The proximity metric
+// is the IP hop count (every edge costs HopDelayMS of delay, so delay is
+// proportional to hops).
+func Mercator(cfg MercatorConfig, rng *rand.Rand) *Network {
+	total := cfg.AS * cfg.RoutersPerAS
+	n := newNetwork("mercator", MetricHops, total)
+
+	routers := make([][]int, cfg.AS)
+	next := 0
+	for a := range routers {
+		for r := 0; r < cfg.RoutersPerAS; r++ {
+			routers[a] = append(routers[a], next)
+			next++
+		}
+		// Intra-AS edges: weight 1 per hop. The sparse chord count keeps
+		// intra-AS paths several hops long, as in the measured Internet.
+		ids := routers[a]
+		perm := rng.Perm(len(ids))
+		for i := 1; i < len(perm); i++ {
+			n.addEdge(ids[perm[i-1]], ids[perm[i]], 1, cfg.HopDelayMS)
+		}
+		for i := 0; i < len(ids)/8; i++ {
+			x, y := ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]
+			if x != y {
+				n.addEdge(x, y, 1, cfg.HopDelayMS)
+			}
+		}
+	}
+
+	// AS-level overlay: preferential attachment for a power-law-ish degree
+	// distribution, as observed in the real AS graph.
+	targets := []int{0}
+	for a := 1; a < cfg.AS; a++ {
+		peer := targets[rng.Intn(len(targets))]
+		connectAS(n, routers, a, peer, cfg, rng)
+		targets = append(targets, a, peer)
+		for extra := 0; extra < cfg.InterASDegree-1; extra++ {
+			p := targets[rng.Intn(len(targets))]
+			if p != a {
+				connectAS(n, routers, a, p, cfg, rng)
+			}
+		}
+	}
+	return n
+}
+
+func connectAS(n *Network, routers [][]int, a, b int, cfg MercatorConfig, rng *rand.Rand) {
+	const asPenalty = 1e6
+	x := routers[a][rng.Intn(len(routers[a]))]
+	y := routers[b][rng.Intn(len(routers[b]))]
+	n.addEdge(x, y, 1+asPenalty, cfg.HopDelayMS)
+}
+
+// CorpNetConfig parameterises the corporate-network topology (298 routers in
+// the paper, measured on the world-wide Microsoft corporate network).
+type CorpNetConfig struct {
+	Hubs        int // world-wide core sites
+	EdgeRouters int // building/branch routers hanging off hubs
+}
+
+// DefaultCorpNet returns the paper's 298-router size.
+func DefaultCorpNet() CorpNetConfig { return CorpNetConfig{Hubs: 30, EdgeRouters: 268} }
+
+// CorpNet generates a small two-level corporate network: a well-connected
+// core of world-wide hub sites with wide-area delays, and edge routers
+// attached to hubs by short campus links. The proximity metric is minimum
+// RTT. The wide core-to-edge delay ratio is what gives the paper its low
+// CorpNet RDP: proximity-aware hops within a site are nearly free compared
+// with the one long hop any route must take.
+func CorpNet(cfg CorpNetConfig, rng *rand.Rand) *Network {
+	total := cfg.Hubs + cfg.EdgeRouters
+	n := newNetwork("corpnet", MetricRTT, total)
+	hubs := make([]int, cfg.Hubs)
+	for i := range hubs {
+		hubs[i] = i
+	}
+	n.connectCluster(hubs, cfg.Hubs*2, 20, 150, rng)
+	for e := 0; e < cfg.EdgeRouters; e++ {
+		r := cfg.Hubs + e
+		h := hubs[rng.Intn(len(hubs))]
+		d := 2 + rng.Float64()*4
+		n.addEdge(r, h, d, d)
+	}
+	return n
+}

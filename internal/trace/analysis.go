@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// WindowStat summarises one averaging window of a trace, as plotted in the
+// paper's Figure 3 (node failures per node per second over time).
+type WindowStat struct {
+	Start time.Duration
+	// Active is the mean number of active nodes during the window.
+	Active float64
+	// Joins and Leaves count events inside the window.
+	Joins, Leaves int
+	// FailureRate is leaves per active node per second.
+	FailureRate float64
+}
+
+// Windows walks the trace and returns per-window statistics with the given
+// window size. The paper uses 10-minute windows for Gnutella and OverNet
+// and 1-hour windows for Microsoft.
+func (tr *Trace) Windows(window time.Duration) []WindowStat {
+	if window <= 0 {
+		panic("trace: window must be positive")
+	}
+	nwin := int((tr.Duration + window - 1) / window)
+	stats := make([]WindowStat, nwin)
+	for i := range stats {
+		stats[i].Start = time.Duration(i) * window
+	}
+	active := len(tr.Initial)
+	// activeIntegral accumulates node-seconds per window.
+	cursor := time.Duration(0)
+	widx := 0
+	var acc float64
+	advance := func(to time.Duration) {
+		for cursor < to {
+			winEnd := time.Duration(widx+1) * window
+			seg := to
+			if winEnd < seg {
+				seg = winEnd
+			}
+			acc += float64(active) * (seg - cursor).Seconds()
+			cursor = seg
+			if cursor == winEnd && widx < nwin-1 {
+				stats[widx].Active = acc / window.Seconds()
+				acc = 0
+				widx++
+			} else if cursor == to {
+				break
+			}
+		}
+	}
+	for _, ev := range tr.Events {
+		advance(ev.At)
+		w := int(ev.At / window)
+		if w >= nwin {
+			w = nwin - 1
+		}
+		switch ev.Kind {
+		case Join:
+			stats[w].Joins++
+			active++
+		case Leave:
+			stats[w].Leaves++
+			active--
+		}
+	}
+	advance(tr.Duration)
+	if widx < nwin {
+		lastLen := (tr.Duration - time.Duration(widx)*window).Seconds()
+		if lastLen > 0 {
+			stats[widx].Active = acc / lastLen
+		}
+	}
+	for i := range stats {
+		winLen := window.Seconds()
+		if i == nwin-1 {
+			if rem := (tr.Duration - stats[i].Start).Seconds(); rem > 0 {
+				winLen = rem
+			}
+		}
+		if stats[i].Active > 0 {
+			stats[i].FailureRate = float64(stats[i].Leaves) / stats[i].Active / winLen
+		}
+	}
+	return stats
+}
+
+// ActiveBounds returns the minimum and maximum number of concurrently
+// active nodes over the trace.
+func (tr *Trace) ActiveBounds() (lo, hi int) {
+	active := len(tr.Initial)
+	lo, hi = active, active
+	for _, ev := range tr.Events {
+		if ev.Kind == Join {
+			active++
+		} else {
+			active--
+		}
+		if active < lo {
+			lo = active
+		}
+		if active > hi {
+			hi = active
+		}
+	}
+	return lo, hi
+}
+
+// MeanSessionObserved computes the mean of completed sessions in the trace
+// (sessions that both start and end inside the trace window).
+func (tr *Trace) MeanSessionObserved() time.Duration {
+	joined := make(map[int]time.Duration)
+	var sum time.Duration
+	n := 0
+	for _, ev := range tr.Events {
+		switch ev.Kind {
+		case Join:
+			joined[ev.Node] = ev.At
+		case Leave:
+			if start, ok := joined[ev.Node]; ok {
+				sum += ev.At - start
+				n++
+				delete(joined, ev.Node)
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / time.Duration(n)
+}
+
+// Validate checks trace invariants: events sorted by time, no event at or
+// before time zero, and per-node alternation (a node joins only while
+// offline and leaves only while online, with Initial nodes starting online).
+func (tr *Trace) Validate() error {
+	online := make(map[int]bool, len(tr.Initial))
+	for _, n := range tr.Initial {
+		if online[n] {
+			return fmt.Errorf("node %d listed twice in Initial", n)
+		}
+		online[n] = true
+	}
+	var last time.Duration
+	for i, ev := range tr.Events {
+		if ev.At <= 0 {
+			return fmt.Errorf("event %d at non-positive time %v", i, ev.At)
+		}
+		if ev.At < last {
+			return fmt.Errorf("event %d out of order: %v after %v", i, ev.At, last)
+		}
+		last = ev.At
+		if ev.At > tr.Duration {
+			return fmt.Errorf("event %d beyond trace duration", i)
+		}
+		if ev.Node < 0 || ev.Node >= tr.Nodes {
+			return fmt.Errorf("event %d references node %d outside [0,%d)", i, ev.Node, tr.Nodes)
+		}
+		switch ev.Kind {
+		case Join:
+			if online[ev.Node] {
+				return fmt.Errorf("event %d: node %d joins while online", i, ev.Node)
+			}
+			online[ev.Node] = true
+		case Leave:
+			if !online[ev.Node] {
+				return fmt.Errorf("event %d: node %d leaves while offline", i, ev.Node)
+			}
+			online[ev.Node] = false
+		default:
+			return fmt.Errorf("event %d: bad kind %v", i, ev.Kind)
+		}
+	}
+	return nil
+}

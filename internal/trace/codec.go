@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Encode writes the trace in a line-oriented text format:
+//
+//	trace <name> <duration-seconds> <nodes>
+//	I <node>            (one per initially-active node)
+//	J <seconds> <node>  (join)
+//	L <seconds> <node>  (leave)
+func Encode(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "trace %s %g %d\n", tr.Name, tr.Duration.Seconds(), tr.Nodes)
+	for _, n := range tr.Initial {
+		fmt.Fprintf(bw, "I %d\n", n)
+	}
+	for _, ev := range tr.Events {
+		tag := "J"
+		if ev.Kind == Leave {
+			tag = "L"
+		}
+		fmt.Fprintf(bw, "%s %.6f %d\n", tag, ev.At.Seconds(), ev.Node)
+	}
+	return bw.Flush()
+}
+
+// Decode reads a trace in the Encode format.
+func Decode(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 4 || header[0] != "trace" {
+		return nil, fmt.Errorf("trace: bad header %q", sc.Text())
+	}
+	durSec, err := strconv.ParseFloat(header[2], 64)
+	if err != nil {
+		return nil, fmt.Errorf("trace: bad duration: %w", err)
+	}
+	nodes, err := strconv.Atoi(header[3])
+	if err != nil {
+		return nil, fmt.Errorf("trace: bad node count: %w", err)
+	}
+	tr := &Trace{
+		Name:     header[1],
+		Duration: time.Duration(durSec * float64(time.Second)),
+		Nodes:    nodes,
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		f := strings.Fields(sc.Text())
+		if len(f) == 0 {
+			continue
+		}
+		switch f[0] {
+		case "I":
+			if len(f) != 2 {
+				return nil, fmt.Errorf("trace: line %d: bad initial record", line)
+			}
+			n, err := strconv.Atoi(f[1])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			}
+			tr.Initial = append(tr.Initial, n)
+		case "J", "L":
+			if len(f) != 3 {
+				return nil, fmt.Errorf("trace: line %d: bad event record", line)
+			}
+			sec, err := strconv.ParseFloat(f[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			}
+			n, err := strconv.Atoi(f[2])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			}
+			kind := Join
+			if f[0] == "L" {
+				kind = Leave
+			}
+			tr.Events = append(tr.Events, Event{
+				At:   time.Duration(sec * float64(time.Second)),
+				Node: n,
+				Kind: kind,
+			})
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown record %q", line, f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return tr, nil
+}

@@ -1,0 +1,241 @@
+// Package transport runs MSPastry nodes over real UDP sockets. The same
+// protocol code that drives the simulator drives a deployment: the
+// transport implements pastry.Env with a wall-clock, real timers and the
+// wire codec, and serialises all node callbacks on one event loop per node
+// (the protocol code is single-threaded by design).
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mspastry/internal/id"
+	"mspastry/internal/pastry"
+)
+
+// maxPacket is the largest datagram the transport will send or accept.
+// Join replies and leaf-set probes carry tens of node references; 64 KiB
+// (the UDP maximum) leaves ample headroom.
+const maxPacket = 64 * 1024
+
+// UDP hosts one MSPastry node on a UDP socket.
+type UDP struct {
+	conn  *net.UDPConn
+	start time.Time
+	rng   *rand.Rand
+
+	loop chan func()
+	done chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+	node   *pastry.Node
+
+	sent, received atomic.Uint64
+
+	// OnDecodeError, if set, observes malformed packets (for logging).
+	OnDecodeError func(remote net.Addr, err error)
+}
+
+// Listen opens a UDP socket on addr (for example "127.0.0.1:0") and starts
+// the transport's event loop.
+func Listen(addr string, seed int64) (*UDP, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", addr, err)
+	}
+	t := &UDP{
+		conn:  conn,
+		start: time.Now(),
+		rng:   rand.New(rand.NewSource(seed)),
+		loop:  make(chan func(), 1024),
+		done:  make(chan struct{}),
+	}
+	go t.runLoop()
+	go t.readLoop()
+	return t, nil
+}
+
+// Addr returns the transport's bound address, which is also the node's
+// overlay address.
+func (t *UDP) Addr() string { return t.conn.LocalAddr().String() }
+
+// Counters returns the number of protocol messages sent and received by
+// this transport (malformed packets are not counted as received).
+func (t *UDP) Counters() (sent, received uint64) {
+	return t.sent.Load(), t.received.Load()
+}
+
+// Env returns the transport's pastry.Env, so applications (Squirrel,
+// Scribe, the DHT) can share the node's clock, timers and transport. Use
+// it only from the event loop (inside Do/DoSync).
+func (t *UDP) Env() pastry.Env { return (*udpEnv)(t) }
+
+// CreateNode builds the node hosted by this transport. Call exactly once.
+// The node's identifier is drawn from the transport's seeded random source
+// unless nodeID is non-zero.
+func (t *UDP) CreateNode(nodeID id.ID, cfg pastry.Config, obs pastry.Observer) (*pastry.Node, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.node != nil {
+		return nil, errors.New("transport: node already created")
+	}
+	if nodeID.IsZero() {
+		nodeID = id.Random(t.rng)
+	}
+	ref := pastry.NodeRef{ID: nodeID, Addr: t.Addr()}
+	n, err := pastry.NewNode(ref, cfg, (*udpEnv)(t), obs)
+	if err != nil {
+		return nil, err
+	}
+	t.node = n
+	return n, nil
+}
+
+// Do runs fn on the transport's event loop, serialised with message
+// delivery and timers. Use it for every interaction with the node.
+func (t *UDP) Do(fn func(n *pastry.Node)) {
+	select {
+	case t.loop <- func() { fn(t.node) }:
+	case <-t.done:
+	}
+}
+
+// DoSync runs fn on the event loop and waits for it to complete.
+func (t *UDP) DoSync(fn func(n *pastry.Node)) {
+	ch := make(chan struct{})
+	t.Do(func(n *pastry.Node) {
+		defer close(ch)
+		fn(n)
+	})
+	select {
+	case <-ch:
+	case <-t.done:
+	}
+}
+
+// Close shuts the transport down: the node crashes (fail-stop), the socket
+// closes and the loops exit.
+func (t *UDP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	t.DoSync(func(n *pastry.Node) {
+		if n != nil {
+			n.Fail()
+		}
+	})
+	close(t.done)
+	return t.conn.Close()
+}
+
+func (t *UDP) runLoop() {
+	for {
+		select {
+		case fn := <-t.loop:
+			fn()
+		case <-t.done:
+			return
+		}
+	}
+}
+
+func (t *UDP) readLoop() {
+	buf := make([]byte, maxPacket)
+	for {
+		n, remote, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		msg, err := pastry.DecodeMessage(append([]byte(nil), buf[:n]...))
+		if err != nil {
+			if t.OnDecodeError != nil {
+				t.OnDecodeError(remote, err)
+			}
+			continue
+		}
+		t.received.Add(1)
+		t.Do(func(node *pastry.Node) {
+			if node != nil {
+				node.Receive(msg)
+			}
+		})
+	}
+}
+
+// udpEnv implements pastry.Env on top of the transport.
+type udpEnv UDP
+
+// Now returns the wall-clock time as a monotonic duration since the
+// transport started.
+func (e *udpEnv) Now() time.Duration { return time.Since(e.start) }
+
+// Rand returns the transport's random source (only touched from the loop).
+func (e *udpEnv) Rand() *rand.Rand { return e.rng }
+
+// Send encodes and transmits a message. Delivery is best-effort UDP.
+func (e *udpEnv) Send(to pastry.NodeRef, m pastry.Message) {
+	dst, err := net.ResolveUDPAddr("udp", to.Addr)
+	if err != nil {
+		return
+	}
+	buf := pastry.EncodeMessage(m)
+	if len(buf) > maxPacket {
+		return
+	}
+	e.sent.Add(1)
+	_, _ = e.conn.WriteToUDP(buf, dst)
+}
+
+// Schedule arms a real timer whose callback runs on the event loop.
+func (e *udpEnv) Schedule(d time.Duration, fn func()) pastry.Timer {
+	t := (*UDP)(e)
+	ut := &udpTimer{}
+	ut.timer = time.AfterFunc(d, func() {
+		t.Do(func(*pastry.Node) {
+			ut.mu.Lock()
+			canceled := ut.canceled
+			ut.mu.Unlock()
+			if !canceled {
+				fn()
+			}
+		})
+	})
+	return ut
+}
+
+type udpTimer struct {
+	mu       sync.Mutex
+	canceled bool
+	timer    *time.Timer
+}
+
+// Cancel implements pastry.Timer. It is safe to call from the event loop;
+// a callback already queued will observe the flag and do nothing.
+func (ut *udpTimer) Cancel() {
+	ut.mu.Lock()
+	ut.canceled = true
+	ut.mu.Unlock()
+	ut.timer.Stop()
+}

@@ -1,0 +1,210 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"mspastry/internal/id"
+	"mspastry/internal/pastry"
+)
+
+// liveConfig shortens protocol timers so loopback tests settle quickly.
+func liveConfig() pastry.Config {
+	cfg := pastry.DefaultConfig()
+	cfg.L = 8
+	cfg.Tls = time.Second
+	cfg.To = 500 * time.Millisecond
+	cfg.TickInterval = 500 * time.Millisecond
+	cfg.DistProbeSpacing = 100 * time.Millisecond
+	return cfg
+}
+
+type liveObserver struct {
+	mu        sync.Mutex
+	activated bool
+	delivered []id.ID
+}
+
+func (o *liveObserver) Activated(*pastry.Node, time.Duration) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.activated = true
+}
+
+func (o *liveObserver) Delivered(n *pastry.Node, lk *pastry.Lookup) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.delivered = append(o.delivered, lk.Key)
+}
+
+func (o *liveObserver) LookupDropped(*pastry.Node, *pastry.Lookup, pastry.DropReason) {}
+
+func (o *liveObserver) isActivated() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.activated
+}
+
+func (o *liveObserver) deliveredCount() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.delivered)
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return cond()
+}
+
+func TestUDPOverlayFormsOnLoopback(t *testing.T) {
+	const n = 5
+	transports := make([]*UDP, 0, n)
+	observers := make([]*liveObserver, 0, n)
+	defer func() {
+		for _, tr := range transports {
+			tr.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		tr, err := Listen("127.0.0.1:0", int64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		transports = append(transports, tr)
+		obs := &liveObserver{}
+		observers = append(observers, obs)
+		if _, err := tr.CreateNode(id.Zero, liveConfig(), obs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Bootstrap the first node; join the rest through it.
+	transports[0].DoSync(func(node *pastry.Node) { node.Bootstrap() })
+	var seed pastry.NodeRef
+	transports[0].DoSync(func(node *pastry.Node) { seed = node.Ref() })
+	for i := 1; i < n; i++ {
+		i := i
+		transports[i].DoSync(func(node *pastry.Node) { node.Join(seed) })
+	}
+	for i, obs := range observers {
+		if !waitFor(t, 15*time.Second, obs.isActivated) {
+			t.Fatalf("node %d never activated over UDP", i)
+		}
+	}
+	// Every node should know every other in this small ring.
+	for i, tr := range transports {
+		var size int
+		tr.DoSync(func(node *pastry.Node) { size = node.Leaf().Size() })
+		if size != n-1 {
+			t.Fatalf("node %d leaf size = %d, want %d", i, size, n-1)
+		}
+	}
+}
+
+func TestUDPLookupDelivery(t *testing.T) {
+	trA, err := Listen("127.0.0.1:0", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trA.Close()
+	trB, err := Listen("127.0.0.1:0", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trB.Close()
+	obsA, obsB := &liveObserver{}, &liveObserver{}
+	nodeA, err := trA.CreateNode(id.New(1, 0), liveConfig(), obsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trB.CreateNode(id.New(1<<63, 0), liveConfig(), obsB); err != nil {
+		t.Fatal(err)
+	}
+	trA.DoSync(func(n *pastry.Node) { n.Bootstrap() })
+	refA := nodeA.Ref()
+	trB.DoSync(func(n *pastry.Node) { n.Join(refA) })
+	if !waitFor(t, 10*time.Second, obsB.isActivated) {
+		t.Fatal("B never activated")
+	}
+	// A key adjacent to B's id must be delivered at B.
+	trA.Do(func(n *pastry.Node) { n.Lookup(id.New(1<<63, 1), []byte("ping")) })
+	if !waitFor(t, 10*time.Second, func() bool { return obsB.deliveredCount() > 0 }) {
+		t.Fatal("lookup never delivered at B")
+	}
+}
+
+func TestUDPCloseIsIdempotent(t *testing.T) {
+	tr, err := Listen("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.CreateNode(id.Zero, liveConfig(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUDPCreateNodeTwiceFails(t *testing.T) {
+	tr, err := Listen("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if _, err := tr.CreateNode(id.Zero, liveConfig(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.CreateNode(id.Zero, liveConfig(), nil); err == nil {
+		t.Fatal("second CreateNode should fail")
+	}
+}
+
+func TestUDPMalformedPacketIgnored(t *testing.T) {
+	tr, err := Listen("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	sawErr := make(chan error, 4)
+	tr.OnDecodeError = func(remote net.Addr, err error) {
+		select {
+		case sawErr <- err:
+		default:
+		}
+	}
+	if _, err := tr.CreateNode(id.Zero, liveConfig(), nil); err != nil {
+		t.Fatal(err)
+	}
+	tr.DoSync(func(n *pastry.Node) { n.Bootstrap() })
+	// Throw garbage at the socket; the node must survive.
+	conn, err := net.Dial("udp", tr.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{0xde, 0xad, 0xbe, 0xef}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sawErr:
+	case <-time.After(5 * time.Second):
+		t.Fatal("decode error hook never fired")
+	}
+	alive := false
+	tr.DoSync(func(n *pastry.Node) { alive = n.Alive() })
+	if !alive {
+		t.Fatal("node died on malformed packet")
+	}
+}
