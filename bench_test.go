@@ -24,6 +24,8 @@ package mspastry
 //	BenchmarkHeartbeatAblation   — §4.1 structured vs all-pairs heartbeats
 //	BenchmarkConsistencyRule     — §3.2 consistency/latency trade-off under loss
 //	BenchmarkMassFailureRecovery — §3.1 generalised repair after 50% correlated failure
+//	BenchmarkPartitionHeal       — fault injection: 50/50 partition, heal, time-to-repair
+//	BenchmarkJitterFalsePositives— fault injection: delay-spike false-positive gap
 //	BenchmarkFig8Squirrel        — Figure 8 (Squirrel traffic series)
 
 import (
@@ -209,6 +211,32 @@ func BenchmarkMassFailureRecovery(b *testing.B) {
 	}
 	b.ReportMetric(r.RecoveryTime.Seconds(), "recovery-sec")
 	b.ReportMetric(float64(r.ProbeMessages)/float64(r.Nodes-r.Killed), "leafmsgs-per-survivor")
+}
+
+func BenchmarkPartitionHeal(b *testing.B) {
+	s := benchScale()
+	var r experiments.PartitionHealResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.PartitionHeal(s, 90*time.Second)
+	}
+	if !r.Recovery.Repaired {
+		b.Fatal("overlay did not repair after the partition healed")
+	}
+	b.ReportMetric(r.Recovery.TimeToRepair().Seconds(), "time-to-repair-sec")
+	b.ReportMetric(r.Result.Phases.During.IncorrectRate(), "incorrect-during")
+	b.ReportMetric(r.Result.Phases.After.IncorrectRate(), "incorrect-after")
+}
+
+func BenchmarkJitterFalsePositives(b *testing.B) {
+	s := benchScale()
+	spike := time.Second
+	var r experiments.JitterFPResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.JitterFalsePositives(s, []time.Duration{spike})
+	}
+	b.ReportMetric(r.Hold[spike].Totals.IncorrectRate, "incorrect-hold")
+	b.ReportMetric(r.Naive[spike].Totals.IncorrectRate, "incorrect-naive")
+	b.ReportMetric(r.GapOrders(spike), "gap-orders")
 }
 
 func BenchmarkFig8Squirrel(b *testing.B) {

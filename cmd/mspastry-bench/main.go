@@ -24,7 +24,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		which       = flag.String("experiment", "all", "experiment: all, fig3, topo, fig4, fig5, fig5join, fig6, fig7l, fig7b, ablation, selftune, suppression, heartbeat, consistency, massfailure, fig8, fig8validate")
+		which       = flag.String("experiment", "all", "experiment: all, fig3, topo, fig4, fig5, fig5join, fig6, fig7l, fig7b, ablation, selftune, suppression, heartbeat, consistency, massfailure, partitionheal, jitterfp, fig8, fig8validate")
 		topoDiv     = flag.Int("topo-div", 8, "topology scale divisor (1 = paper size)")
 		traceDiv    = flag.Int("trace-div", 16, "trace population divisor (1 = paper size)")
 		maxDur      = flag.Duration("max-dur", 90*time.Minute, "cap on trace duration (0 = full traces; full Gnutella is 60h)")
@@ -32,6 +32,7 @@ func main() {
 		poissonDur  = flag.Duration("poisson-dur", time.Hour, "artificial trace duration")
 		ramp        = flag.Duration("ramp", 5*time.Minute, "setup ramp")
 		seed        = flag.Int64("seed", 1, "random seed")
+		partFor     = flag.Duration("partition-for", 90*time.Second, "partitionheal: partition duration")
 		fig8Days    = flag.Int("fig8-days", 6, "Squirrel replay length in days")
 		validateN   = flag.Int("validate-nodes", 8, "fig8validate: overlay size")
 		validateDur = flag.Duration("validate-dur", 15*time.Second, "fig8validate: wall-clock workload duration")
@@ -141,6 +142,23 @@ func main() {
 		fmt.Fprintln(out, "paper claim: repair converges in O(log N) iterations even when a large")
 		fmt.Fprintln(out, "fraction of overlay nodes fails simultaneously")
 	}
+	if run("partitionheal") {
+		r := experiments.PartitionHeal(scale, *partFor)
+		experiments.PrintRows(out, fmt.Sprintf("fault injection: 50/50 partition for %v", *partFor),
+			experiments.PhaseCols(), r.Rows())
+		fmt.Fprintf(out, "(recovery row: issued=repaired flag, delivered=time-to-repair sec, incorrect=partition drops)\n")
+		fmt.Fprintf(out, "repaired=%v time-to-repair=%v\n", r.Recovery.Repaired, r.Recovery.TimeToRepair().Round(time.Second))
+		fmt.Fprintln(out, "claim: lookups misdeliver only while the overlay is split or repairing;")
+		fmt.Fprintln(out, "after repair, incorrect deliveries return to zero")
+	}
+	if run("jitterfp") {
+		r := experiments.JitterFalsePositives(scale, nil)
+		experiments.PrintRows(out, "fault injection: delay-spike false positives (hold-on-suspect vs naive)",
+			append(experiments.TotalsCols(), "gapOrders"), r.Rows())
+		fmt.Fprintln(out, "claim: delay spikes above the retransmission timeout make live nodes look")
+		fmt.Fprintln(out, "dead; the hold-on-suspect rule keeps incorrect deliveries >=3 orders of")
+		fmt.Fprintln(out, "magnitude below naive immediate delivery")
+	}
 	if run("consistency") {
 		r := experiments.ConsistencyRule(scale)
 		experiments.PrintRows(out, "§3.2 consistency rule under 5% link loss",
@@ -189,7 +207,7 @@ func cdfRow(label string, r experiments.Fig5JoinCDF, session time.Duration) expe
 }
 
 func isKnown(name string) bool {
-	known := "all fig3 topo fig4 fig5 fig5join fig6 fig7l fig7b ablation selftune suppression heartbeat consistency massfailure fig8 fig8validate"
+	known := "all fig3 topo fig4 fig5 fig5join fig6 fig7l fig7b ablation selftune suppression heartbeat consistency massfailure partitionheal jitterfp fig8 fig8validate"
 	for _, k := range strings.Fields(known) {
 		if k == name {
 			return true

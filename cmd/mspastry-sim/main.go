@@ -9,6 +9,12 @@
 //	mspastry-sim -trace poisson -session 30m -nodes 500 -duration 2h
 //	mspastry-sim -trace overnet -topo mercator -loss 0.05
 //	mspastry-sim -trace gnutella -no-acks -no-probing   # the ablation
+//
+// Fault injection (all faults share the -fault-at/-fault-dur window,
+// measured from the end of the setup ramp):
+//
+//	mspastry-sim -fault-at 30m -fault-dur 2m -partition-frac 0.5
+//	mspastry-sim -fault-at 30m -fault-dur 1m -spike 1s -dup 0.05
 package main
 
 import (
@@ -16,10 +22,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"time"
 
 	"mspastry/internal/harness"
+	"mspastry/internal/netmodel"
 	"mspastry/internal/pastry"
+	"mspastry/internal/stats"
 	"mspastry/internal/trace"
 )
 
@@ -48,6 +57,15 @@ func main() {
 		fixedTrt = flag.Duration("trt", time.Minute, "fixed probing period with -no-selftune")
 		targetLr = flag.Float64("target-lr", 0.05, "self-tuning raw loss-rate target")
 		noPNS    = flag.Bool("no-pns", false, "disable proximity neighbour selection")
+
+		faultAt    = flag.Duration("fault-at", 0, "fault window start, measured from the end of the ramp (0 = no faults)")
+		faultDur   = flag.Duration("fault-dur", time.Minute, "fault window duration")
+		partFrac   = flag.Float64("partition-frac", 0, "partition this fraction of nodes away from the rest (0 = none)")
+		jitter     = flag.Duration("jitter", 0, "uniform extra delay in [0,jitter] during the fault window")
+		spike      = flag.Duration("spike", 0, "fixed extra delay during the fault window")
+		dup        = flag.Float64("dup", 0, "message duplication probability during the fault window")
+		reorder    = flag.Float64("reorder", 0, "message holdback (reordering) probability during the fault window")
+		reorderMax = flag.Duration("reorder-max", 100*time.Millisecond, "maximum holdback for reordered messages")
 	)
 	flag.Parse()
 
@@ -88,6 +106,38 @@ func main() {
 	cfg.SetupRamp = *ramp
 	cfg.Seed = *seed
 
+	if *faultAt > 0 {
+		switch {
+		case *partFrac < 0 || *partFrac >= 1:
+			log.Fatalf("-partition-frac %g outside [0,1)", *partFrac)
+		case *dup < 0 || *dup >= 1:
+			log.Fatalf("-dup %g outside [0,1)", *dup)
+		case *reorder < 0 || *reorder >= 1:
+			log.Fatalf("-reorder %g outside [0,1)", *reorder)
+		case *jitter < 0 || *spike < 0 || *reorderMax < 0:
+			log.Fatalf("-jitter, -spike and -reorder-max must be non-negative")
+		case *faultDur <= 0:
+			log.Fatalf("-fault-dur must be positive")
+		}
+		script := new(harness.FaultScript)
+		if *partFrac > 0 {
+			script.Partition(*faultAt, *faultDur, *partFrac)
+		}
+		if *jitter > 0 {
+			script.Jitter(*faultAt, *faultDur, *jitter)
+		}
+		if *spike > 0 {
+			script.DelaySpike(*faultAt, *faultDur, *spike)
+		}
+		if *dup > 0 {
+			script.Duplicate(*faultAt, *faultDur, *dup)
+		}
+		if *reorder > 0 {
+			script.Reorder(*faultAt, *faultDur, *reorder, *reorderMax)
+		}
+		cfg.Faults = script
+	}
+
 	fmt.Printf("# topology=%s (routers=%d) trace=%s (nodes=%d, %v) loss=%.1f%% lookups=%g/s\n",
 		topo.Name(), topo.NumRouters(), tr.Name, tr.Nodes, tr.Duration, *loss*100, *lookups)
 
@@ -105,14 +155,44 @@ func main() {
 	t := res.Totals
 	fmt.Printf("\nTOTALS  %s\n", t)
 	fmt.Printf("control breakdown (msg/s/node):")
-	for cat, v := range t.ByCategory {
-		fmt.Printf("  %s=%.4f", cat, v)
+	cats := make([]pastry.Category, 0, len(t.ByCategory))
+	for cat := range t.ByCategory {
+		cats = append(cats, cat)
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
+	for _, cat := range cats {
+		fmt.Printf("  %s=%.4f", cat, t.ByCategory[cat])
 	}
 	fmt.Println()
 	fmt.Printf("self-tuned Trt (median of live nodes): %v\n", res.TrtMedian.Round(time.Second))
 	fmt.Printf("joins=%d medianJoinLatency=%v retransmits=%d suppressedProbes=%d\n",
 		t.Joins, t.MedianJoinLatency.Round(time.Millisecond),
 		res.Counters.Retransmits, res.Counters.SuppressedProbes)
+	fmt.Printf("drops by cause:")
+	for c := netmodel.DropCause(0); c < netmodel.NumDropCauses; c++ {
+		fmt.Printf("  %s=%d", c, res.DropsByCause[c])
+	}
+	fmt.Println()
+	if cfg.Faults != nil {
+		fmt.Printf("fault counters: duplicated=%d reordered=%d peakRetx=%.4f/node/s\n",
+			res.FaultCounts.Duplicated, res.FaultCounts.Reordered, t.PeakRetxPerNodeSec)
+		fmt.Printf("%-18s %8s %10s %10s %8s\n", "phase", "issued", "delivered", "incorrect", "lost")
+		for _, p := range []struct {
+			name  string
+			count stats.PhaseCount
+		}{
+			{"before-fault", res.Phases.Before},
+			{"during-fault", res.Phases.During},
+			{"after-fault", res.Phases.After},
+		} {
+			fmt.Printf("%-18s %8d %10d %10d %8d\n", p.name,
+				p.count.Issued, p.count.Delivered, p.count.Incorrect, p.count.Lost)
+		}
+		for _, rec := range res.Recovery {
+			fmt.Printf("recovery: healed at %v, repaired=%v, time-to-repair=%v\n",
+				rec.HealAt.Round(time.Second), rec.Repaired, rec.TimeToRepair().Round(time.Second))
+		}
+	}
 	fmt.Printf("simulated %v in %v (%d events, %.0f events/s)\n",
 		tr.Duration, elapsed.Round(time.Millisecond), res.SimEvents,
 		float64(res.SimEvents)/elapsed.Seconds())

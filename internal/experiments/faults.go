@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mspastry/internal/harness"
+	"mspastry/internal/netmodel"
+	"mspastry/internal/stats"
+	"mspastry/internal/trace"
+)
+
+// stableTrace returns a churn-free trace — n nodes active for the whole
+// run — so fault-injection effects are not confounded with churn.
+func stableTrace(n int, d time.Duration) *trace.Trace {
+	tr := &trace.Trace{Name: "stable", Duration: d, Nodes: n}
+	for i := 0; i < n; i++ {
+		tr.Initial = append(tr.Initial, i)
+	}
+	return tr
+}
+
+// PartitionHealResult measures dependability across a network partition:
+// the overlay is split 50/50 for PartitionFor, then the partition heals
+// and the harness tracks how long the ring takes to repair. Lookups are
+// bucketed into before/during/after phases so consistency can be judged
+// per phase — the paper's dependability claim translates to zero
+// incorrect deliveries once the overlay has repaired.
+type PartitionHealResult struct {
+	PartitionFor time.Duration
+	Result       harness.Result
+	// Recovery is the heal-to-repair record for the partition.
+	Recovery stats.RecoveryStat
+}
+
+// partitionWarm is how long the overlay runs undisturbed before the
+// split; partitionTail leaves room for repair and post-heal measurement.
+// Re-merge rides on the few cross-partition links that survive the
+// split's failure detection, so repair takes minutes at a few hundred
+// nodes; partitions much longer than the state-purge horizon (a few
+// probe timeouts) never re-merge at all — each side purges the other
+// completely and the split is permanent, which the harness reports as
+// repaired=false with the "during" phase extending to the end of the run.
+const (
+	partitionWarm = 5 * time.Minute
+	partitionTail = 15 * time.Minute
+)
+
+// PartitionHeal splits a stable overlay 50/50 for partitionFor, heals it,
+// and measures per-phase lookup consistency plus time-to-repair.
+func PartitionHeal(s Scale, partitionFor time.Duration) PartitionHealResult {
+	tr := stableTrace(s.PoissonNodes, partitionWarm+partitionFor+partitionTail)
+	cfg := s.baseConfig("corpnet", tr)
+	cfg.LookupRate = 0.05
+	cfg.Faults = new(harness.FaultScript).Partition(partitionWarm, partitionFor, 0.5)
+	res := harness.Run(cfg)
+	out := PartitionHealResult{PartitionFor: partitionFor, Result: res}
+	if len(res.Recovery) > 0 {
+		out.Recovery = res.Recovery[0]
+	}
+	return out
+}
+
+// PhaseCols returns the column set for per-phase rows.
+func PhaseCols() []string {
+	return []string{"issued", "delivered", "incorrect", "lost", "incRate", "lossRate"}
+}
+
+func phaseRow(label string, p stats.PhaseCount) Row {
+	return Row{Label: label, Values: map[string]float64{
+		"issued":    float64(p.Issued),
+		"delivered": float64(p.Delivered),
+		"incorrect": float64(p.Incorrect),
+		"lost":      float64(p.Lost),
+		"incRate":   p.IncorrectRate(),
+		"lossRate":  p.LossRate(),
+	}}
+}
+
+// Rows renders the three phases plus a recovery summary row.
+func (r PartitionHealResult) Rows() []Row {
+	ph := r.Result.Phases
+	repaired := 0.0
+	if r.Recovery.Repaired {
+		repaired = 1
+	}
+	return []Row{
+		phaseRow("before", ph.Before),
+		phaseRow("during-partition", ph.During),
+		phaseRow("after-heal", ph.After),
+		{Label: "recovery", Values: map[string]float64{
+			"issued":    repaired,
+			"delivered": r.Recovery.TimeToRepair().Seconds(),
+			"incorrect": float64(r.Result.DropsByCause[netmodel.DropPartition]),
+		}},
+	}
+}
+
+// JitterFPResult reproduces the delay-spike false-positive sweep: delay
+// spikes larger than the per-hop retransmission timeout make live nodes
+// look dead, and without the §3.2 hold-on-suspect rule the lookup is
+// delivered at the next-best node — incorrectly. With the rule, delivery
+// is held until the suspicion resolves, keeping incorrect deliveries
+// orders of magnitude below the naive variant at the cost of latency.
+type JitterFPResult struct {
+	Spikes []time.Duration
+	// Hold and Naive map spike magnitude to the run with and without the
+	// hold-on-suspect rule.
+	Hold, Naive map[time.Duration]harness.Result
+}
+
+// jitterFPScript covers the measurement period with periodic spike
+// windows: spikeOn out of every spikePeriod, starting after a warm-up.
+const (
+	jitterFPWarm  = 2 * time.Minute
+	jitterFPRun   = 28 * time.Minute
+	jitterSpikeOn = 30 * time.Second
+	jitterPeriod  = 90 * time.Second
+)
+
+func jitterFPScript(spike time.Duration) *harness.FaultScript {
+	s := new(harness.FaultScript)
+	for at := jitterFPWarm; at+jitterSpikeOn <= jitterFPRun-time.Minute; at += jitterPeriod {
+		s.DelaySpike(at, jitterSpikeOn, spike)
+	}
+	return s
+}
+
+// jitterFPNodes caps the sweep's population: the hold-on-suspect
+// retransmission storm during a spike grows superlinearly with the
+// population, and the false-positive mechanism under test is per-hop, not
+// population-dependent, so a few dozen nodes reproduce the shape at a
+// tiny fraction of the cost.
+func jitterFPNodes(s Scale) int {
+	n := s.PoissonNodes / 2
+	if n > 48 {
+		n = 48
+	}
+	return maxInt(16, n)
+}
+
+// JitterFalsePositives sweeps delay-spike magnitudes, running each twice:
+// with the hold-on-suspect rule (the paper's consistency mechanism) and
+// with naive immediate delivery.
+func JitterFalsePositives(s Scale, spikes []time.Duration) JitterFPResult {
+	if len(spikes) == 0 {
+		spikes = []time.Duration{100 * time.Millisecond, 300 * time.Millisecond, time.Second}
+	}
+	out := JitterFPResult{
+		Spikes: spikes,
+		Hold:   make(map[time.Duration]harness.Result),
+		Naive:  make(map[time.Duration]harness.Result),
+	}
+	for _, spike := range spikes {
+		run := func(hold bool) harness.Result {
+			tr := stableTrace(jitterFPNodes(s), jitterFPRun)
+			cfg := s.baseConfig("corpnet", tr)
+			cfg.LookupRate = 0.2
+			cfg.Pastry.HoldOnSuspect = hold
+			cfg.Faults = jitterFPScript(spike)
+			return harness.Run(cfg)
+		}
+		out.Hold[spike] = run(true)
+		out.Naive[spike] = run(false)
+	}
+	return out
+}
+
+// GapOrders returns log10 of the naive incorrect-delivery rate over the
+// hold-on-suspect rate at the given spike. When the hold variant observed
+// no incorrect delivery at all, its rate is floored at the measurement
+// resolution (one incorrect lookup), so the gap is a lower bound.
+func (r JitterFPResult) GapOrders(spike time.Duration) float64 {
+	hold, naive := r.Hold[spike], r.Naive[spike]
+	nRate := naive.Totals.IncorrectRate
+	hRate := hold.Totals.IncorrectRate
+	if hRate == 0 && hold.Totals.Issued > 0 {
+		hRate = 1 / float64(hold.Totals.Issued)
+	}
+	if nRate == 0 || hRate == 0 {
+		return 0
+	}
+	return math.Log10(nRate / hRate)
+}
+
+// Rows renders the sweep: one row per spike and variant, with the gap (in
+// orders of magnitude) attached to the naive row.
+func (r JitterFPResult) Rows() []Row {
+	var rows []Row
+	for _, spike := range r.Spikes {
+		hold := totalsRow(fmt.Sprintf("spike=%v/hold", spike), r.Hold[spike])
+		naive := totalsRow(fmt.Sprintf("spike=%v/naive", spike), r.Naive[spike])
+		naive.Values["gapOrders"] = r.GapOrders(spike)
+		hold.Values["retxPeak"] = r.Hold[spike].Totals.PeakRetxPerNodeSec
+		naive.Values["retxPeak"] = r.Naive[spike].Totals.PeakRetxPerNodeSec
+		rows = append(rows, hold, naive)
+	}
+	return rows
+}

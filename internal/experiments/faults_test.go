@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestPartitionHealShape(t *testing.T) {
+	s := tiny()
+	r := PartitionHeal(s, 90*time.Second)
+	if !r.Recovery.Repaired {
+		t.Fatal("overlay did not repair after the partition healed")
+	}
+	if ttr := r.Recovery.TimeToRepair(); ttr <= 0 || ttr > partitionTail {
+		t.Fatalf("time-to-repair = %v, want finite and within the tail", ttr)
+	}
+	ph := r.Result.Phases
+	t.Logf("phases: before=%+v during=%+v after=%+v ttr=%v",
+		ph.Before, ph.During, ph.After, r.Recovery.TimeToRepair())
+	if ph.During.Issued == 0 || ph.After.Issued == 0 {
+		t.Fatalf("phase accounting incomplete: %+v", ph)
+	}
+	// The dependability headline: once the partition heals and the ring
+	// repairs, no lookup may be delivered at a wrong root.
+	if ph.After.Incorrect != 0 {
+		t.Fatalf("%d incorrect deliveries after the heal", ph.After.Incorrect)
+	}
+	// The split must actually bite: each side serves the other side's keys
+	// at its own closest node (split-brain), so cross-cut lookups are
+	// misdelivered or lost while the partition lasts.
+	if ph.During.Incorrect == 0 && ph.During.Lost == 0 {
+		t.Fatal("the partition left no trace on lookups issued during it")
+	}
+}
+
+func TestPartitionHealDeterministic(t *testing.T) {
+	s := tiny()
+	a := PartitionHeal(s, time.Minute)
+	b := PartitionHeal(s, time.Minute)
+	if !reflect.DeepEqual(a.Rows(), b.Rows()) {
+		t.Fatalf("same seed produced different rows:\n%v\nvs\n%v", a.Rows(), b.Rows())
+	}
+	if a.Recovery != b.Recovery {
+		t.Fatalf("recovery diverged: %+v vs %+v", a.Recovery, b.Recovery)
+	}
+}
+
+func TestJitterFalsePositivesGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("half-hour spike sweep soak")
+	}
+	s := tiny()
+	spike := time.Second
+	r := JitterFalsePositives(s, []time.Duration{spike})
+	hold := r.Hold[spike].Totals
+	naive := r.Naive[spike].Totals
+	gap := r.GapOrders(spike)
+	t.Logf("hold: issued=%d incorrect=%d (%.3g); naive: issued=%d incorrect=%d (%.3g); gap=%.2f orders",
+		hold.Issued, hold.Incorrect, hold.IncorrectRate,
+		naive.Issued, naive.Incorrect, naive.IncorrectRate, gap)
+	if naive.Incorrect == 0 {
+		t.Fatal("delay spikes caused no incorrect deliveries under naive delivery")
+	}
+	// The paper's consistency claim: hold-on-suspect keeps incorrect
+	// deliveries at least three orders of magnitude below naive delivery.
+	if gap < 3 {
+		t.Fatalf("gap = %.2f orders, want >= 3", gap)
+	}
+	if hold.IncorrectRate > 1e-3 {
+		t.Fatalf("hold-on-suspect incorrect rate %.3g too high", hold.IncorrectRate)
+	}
+}

@@ -41,7 +41,11 @@ type Config struct {
 	// LossTimeout is how long a lookup may remain undelivered before it
 	// counts as lost.
 	LossTimeout time.Duration
-	// Seed seeds all randomness (ids, lookup keys, loss).
+	// Faults is an optional scripted fault scenario (partitions, jitter,
+	// delay spikes, duplication, reordering, per-link loss) applied on
+	// top of the uniform loss model. Event times are measured times.
+	Faults *FaultScript
+	// Seed seeds all randomness (ids, lookup keys, loss, faults).
 	Seed int64
 }
 
@@ -67,8 +71,21 @@ type Result struct {
 	JoinCDF []stats.CDFPoint
 	// Aggregated protocol counters over all node instances.
 	Counters pastry.Counters
-	// NetworkDrops counts messages lost to injected link loss.
+	// NetworkDrops counts messages lost to injected faults (uniform loss,
+	// per-link loss, partitions).
 	NetworkDrops uint64
+	// DropsByCause classifies every undelivered network message, telling
+	// injected faults (loss, linkloss, partition) apart from churn
+	// artifacts (unknown, dead or reincarnated destinations).
+	DropsByCause [netmodel.NumDropCauses]uint64
+	// FaultCounts tallies injected duplication and reordering.
+	FaultCounts netmodel.FaultCounters
+	// Phases splits lookup outcomes into before/during/after the fault
+	// window (zero value when no fault script was set).
+	Phases stats.PhaseTotals
+	// Recovery holds one entry per healed partition: the time from heal
+	// to restored global ring consistency.
+	Recovery []stats.RecoveryStat
 	// SimEvents is the number of simulator events executed.
 	SimEvents uint64
 	// DropsByReason counts explicit lookup drops by protocol reason;
@@ -101,6 +118,7 @@ type run struct {
 	counters    pastry.Counters
 	dropReasons map[pastry.DropReason]int
 	timeoutLost int
+	recovery    []stats.RecoveryStat
 }
 
 type slot struct {
@@ -147,8 +165,13 @@ func newRun(cfg Config) *run {
 		r.slots[i] = &slot{ep: nw.NewEndpoint(first + i)}
 	}
 	nw.OnSend(func(from *netmodel.Endpoint, to pastry.NodeRef, m pastry.Message) {
-		r.col.MsgSent(r.measured(), m.Category())
+		t := r.measured()
+		r.col.MsgSent(t, m.Category())
+		if env, ok := m.(*pastry.Envelope); ok && env.Retx {
+			r.col.Retransmit(t)
+		}
 	})
+	r.applyFaults()
 	return r
 }
 
@@ -204,6 +227,10 @@ func (r *run) execute() Result {
 		Totals:        r.col.Totals(),
 		JoinCDF:       r.col.JoinLatencyCDF(),
 		NetworkDrops:  r.nw.Drops,
+		DropsByCause:  r.nw.DropsByCause,
+		FaultCounts:   r.nw.FaultCounts,
+		Phases:        r.col.Phases(),
+		Recovery:      r.recovery,
 		SimEvents:     r.sim.Steps(),
 		DropsByReason: r.dropReasons,
 		TimeoutLost:   r.timeoutLost,
@@ -270,6 +297,7 @@ func (r *run) absorbCounters(n *pastry.Node) {
 	c := n.Stats()
 	r.counters.SuppressedProbes += c.SuppressedProbes
 	r.counters.SentRTProbes += c.SentRTProbes
+	r.counters.SentReconnectProbes += c.SentReconnectProbes
 	r.counters.SentHeartbeats += c.SentHeartbeats
 	r.counters.Retransmits += c.Retransmits
 	r.counters.FalsePositives += c.FalsePositives

@@ -23,8 +23,17 @@ type Network struct {
 	lossRate float64
 	eps      map[string]*Endpoint
 	onSend   func(from *Endpoint, to pastry.NodeRef, m pastry.Message)
-	// Drops counts messages lost to injected link loss.
+	faults   *FaultSet
+	// Drops counts messages lost to injected faults (uniform loss,
+	// per-link loss and partitions). Churn artifacts — unknown, dead or
+	// reincarnated destinations — are accounted separately in
+	// DropsByCause so experiments can tell injected faults apart.
 	Drops uint64
+	// DropsByCause classifies every undelivered message, indexed by
+	// DropCause.
+	DropsByCause [NumDropCauses]uint64
+	// FaultCounts tallies duplication and reordering activity.
+	FaultCounts FaultCounters
 }
 
 // New creates a network over the given simulator and topology with a
@@ -114,8 +123,9 @@ func (ep *Endpoint) Schedule(d time.Duration, fn func()) pastry.Timer {
 	return ep.nw.sim.After(d, fn)
 }
 
-// Send implements pastry.Env: apply the traffic hook, roll for loss, then
-// deliver after the topology's one-way delay. Routed payloads are copied on
+// Send implements pastry.Env: apply the traffic hook, roll for loss and
+// the active fault set, then deliver after the topology's one-way delay
+// (perturbed by any delay-shaped faults). Routed payloads are copied on
 // delivery so retransmitted duplicates do not share mutable state.
 func (ep *Endpoint) Send(to pastry.NodeRef, m pastry.Message) {
 	nw := ep.nw
@@ -123,21 +133,51 @@ func (ep *Endpoint) Send(to pastry.NodeRef, m pastry.Message) {
 		nw.onSend(ep, to, m)
 	}
 	if nw.lossRate > 0 && nw.sim.Rand().Float64() < nw.lossRate {
-		nw.Drops++
+		nw.drop(DropLoss)
 		return
+	}
+	if nw.faults != nil {
+		if cause, dropped := nw.faults.dropsMessage(nw.sim.Rand(), ep.addr, to.Addr); dropped {
+			nw.drop(cause)
+			return
+		}
 	}
 	dst, ok := nw.eps[to.Addr]
 	if !ok {
+		nw.drop(DropUnknownEndpoint)
 		return
 	}
 	delay := nw.topo.Delay(ep.index, dst.index)
+	if nw.faults != nil {
+		delay = nw.faults.perturbDelay(nw.sim.Rand(), delay)
+		if nw.faults.duplicates(nw.sim.Rand()) {
+			dup := nw.faults.perturbDelay(nw.sim.Rand(), nw.topo.Delay(ep.index, dst.index))
+			nw.deliverAfter(dst, to, m, dup)
+		}
+	}
+	nw.deliverAfter(dst, to, m, delay)
+}
+
+// drop accounts one undelivered message.
+func (nw *Network) drop(cause DropCause) {
+	nw.DropsByCause[cause]++
+	if cause.injected() {
+		nw.Drops++
+	}
+}
+
+// deliverAfter schedules one delivery attempt; destination liveness and
+// identity are re-checked at delivery time.
+func (nw *Network) deliverAfter(dst *Endpoint, to pastry.NodeRef, m pastry.Message, delay time.Duration) {
 	nw.sim.After(delay, func() {
 		if !dst.up || dst.node == nil {
+			nw.drop(DropDeadEndpoint)
 			return
 		}
 		if dst.node.Ref().ID != to.ID {
 			// The endpoint was reincarnated with a new identity; the
 			// message was addressed to the dead instance.
+			nw.drop(DropStaleIdentity)
 			return
 		}
 		dst.node.Receive(copyForDelivery(m))

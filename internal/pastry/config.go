@@ -74,6 +74,22 @@ type Config struct {
 	// (paper: 20 minutes).
 	RTMaintenance time.Duration
 
+	// ReconnectInterval is how often a node re-probes one peer from its
+	// reconnect cache — peers it marked faulty and purged from routing
+	// state. Crash-failed peers cost a bounded number of extra pings;
+	// peers that were merely unreachable (a network partition) answer
+	// once the network heals, which is how the overlay re-merges: without
+	// the cache, a partition outlasting the probing period is permanent,
+	// because both sides purge each other completely and no message ever
+	// crosses the cut again. 0 disables the cache.
+	ReconnectInterval time.Duration
+	// ReconnectRetries caps the probes per cached peer before its record
+	// is dropped for good, bounding post-mortem traffic per failure.
+	ReconnectRetries int
+	// ReconnectCacheSize bounds the cache; the most-retried record is
+	// evicted first.
+	ReconnectCacheSize int
+
 	// TickInterval is the internal maintenance timer granularity.
 	TickInterval time.Duration
 	// LookupTTL bounds the number of overlay hops (routing loops are
@@ -108,6 +124,9 @@ func DefaultConfig() Config {
 		DistProbeSpacing:     time.Second,
 		SymmetricProbes:      true,
 		RTMaintenance:        20 * time.Minute,
+		ReconnectInterval:    30 * time.Second,
+		ReconnectRetries:     20,
+		ReconnectCacheSize:   32,
 		TickInterval:         15 * time.Second,
 		LookupTTL:            64,
 	}
@@ -132,6 +151,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("pastry: DistProbeCount must be >= 1")
 	case c.MaxRouteAttempts < 1:
 		return fmt.Errorf("pastry: MaxRouteAttempts must be >= 1")
+	case c.ReconnectInterval < 0:
+		return fmt.Errorf("pastry: ReconnectInterval negative")
+	case c.ReconnectInterval > 0 && (c.ReconnectRetries < 1 || c.ReconnectCacheSize < 1):
+		return fmt.Errorf("pastry: reconnect cache needs positive retries and size")
 	case c.TickInterval <= 0:
 		return fmt.Errorf("pastry: TickInterval must be positive")
 	case c.LookupTTL < 1:

@@ -34,6 +34,17 @@ type Node struct {
 	failed   map[id.ID]NodeRef
 	excluded map[id.ID]bool
 
+	// graveyard remembers recently purged peers for slow re-probing, so
+	// the overlay can re-merge after a long partition (see reconnect.go).
+	graveyard     map[id.ID]*graveRecord
+	lastReconnect time.Duration
+
+	// lastRepair paces leaf-set repair probes per target: a stuck repair
+	// (the reply brings no new candidates, so the set stays incomplete)
+	// would otherwise re-probe its farthest member at reply-RTT rate.
+	lastRepair  map[id.ID]time.Duration
+	repairTimer Timer
+
 	// Per-hop ack state.
 	pending  map[uint64]*pendingHop
 	nextXfer uint64
@@ -91,6 +102,10 @@ type Counters struct {
 	SuppressedProbes uint64
 	// SentRTProbes counts routing-table liveness probes actually sent.
 	SentRTProbes uint64
+	// SentReconnectProbes counts reconnect-cache pings to peers
+	// previously marked faulty (tallied separately from SentRTProbes:
+	// the reconnect cache is orthogonal to the ActiveProbing ablation).
+	SentReconnectProbes uint64
 	// SentHeartbeats counts heartbeats actually sent.
 	SentHeartbeats uint64
 	// Retransmits counts per-hop retransmissions.
@@ -113,6 +128,9 @@ type probeState struct {
 	// Confirmation and repair probes never re-announce — otherwise one
 	// failure would cascade into l^2 probe traffic.
 	announce bool
+	// reconnect marks reconnect-cache probes: a timeout restores the
+	// failure record without re-counting the failure or announcing.
+	reconnect bool
 }
 
 type pendingHop struct {
@@ -149,6 +167,8 @@ func NewNode(self NodeRef, cfg Config, env Env, obs Observer) (*Node, error) {
 		probing:           make(map[id.ID]*probeState),
 		failed:            make(map[id.ID]NodeRef),
 		excluded:          make(map[id.ID]bool),
+		graveyard:         make(map[id.ID]*graveRecord),
+		lastRepair:        make(map[id.ID]time.Duration),
 		pending:           make(map[uint64]*pendingHop),
 		rto:               make(map[id.ID]*rttEstimator),
 		lastRecv:          make(map[id.ID]time.Duration),
@@ -248,6 +268,10 @@ func (n *Node) Fail() {
 	if n.tickTimer != nil {
 		n.tickTimer.Cancel()
 		n.tickTimer = nil
+	}
+	if n.repairTimer != nil {
+		n.repairTimer.Cancel()
+		n.repairTimer = nil
 	}
 	for _, ps := range n.probing {
 		if ps.timer != nil {
@@ -378,6 +402,7 @@ func (n *Node) noteContact(from NodeRef, hint time.Duration) {
 		delete(n.failed, from.ID)
 		n.counters.FalsePositives++
 	}
+	n.forgetFailed(from)
 	// Opportunistic routing-table fill: we heard from the node directly.
 	n.rt.Add(from)
 	// A direct sender that belongs in our leaf set but is missing from it
@@ -470,6 +495,10 @@ func (n *Node) onTick() {
 		n.lastMaintenance = now
 		n.periodicMaintenance()
 	}
+	if n.cfg.ReconnectInterval > 0 && now-n.lastReconnect >= n.cfg.ReconnectInterval {
+		n.lastReconnect = now
+		n.retryReconnect(now)
+	}
 	n.pruneHints()
 }
 
@@ -492,6 +521,11 @@ func (n *Node) pruneHints() {
 	for x, at := range n.lsCandidateProbed {
 		if now-at > 2*n.cfg.Tls {
 			delete(n.lsCandidateProbed, x)
+		}
+	}
+	for x, at := range n.lastRepair {
+		if now-at > 2*n.cfg.To {
+			delete(n.lastRepair, x)
 		}
 	}
 }

@@ -74,7 +74,11 @@ func (n *Node) sendProbeMsg(ps *probeState) {
 		})
 		return
 	}
-	n.counters.SentRTProbes++
+	if ps.reconnect {
+		n.counters.SentReconnectProbes++
+	} else {
+		n.counters.SentRTProbes++
+	}
 	n.send(ps.ref, &RTProbe{From: n.self, TrtHint: n.trtLocal})
 }
 
@@ -103,6 +107,14 @@ func (n *Node) probeTimeout(ps *probeState) {
 		n.armProbeTimer(ps)
 		return
 	}
+	if ps.reconnect {
+		// Still unreachable: restore the failure record without
+		// re-counting the failure (it was counted when first marked
+		// faulty) and without an announcement.
+		n.failed[ps.ref.ID] = ps.ref
+		n.doneProbing(ps.ref.ID)
+		return
+	}
 	n.markFaulty(ps.ref, ps.announce)
 	n.doneProbing(ps.ref.ID)
 }
@@ -116,6 +128,7 @@ func (n *Node) markFaulty(ref NodeRef, announce bool) {
 	n.ls.Remove(ref.ID)
 	n.rt.Remove(ref.ID)
 	n.failed[ref.ID] = ref
+	n.rememberFailed(ref)
 	delete(n.excluded, ref.ID)
 	delete(n.trtHints, ref.ID)
 	n.recordFailure(n.env.Now())
@@ -131,12 +144,19 @@ func (n *Node) markFaulty(ref NodeRef, announce bool) {
 // probe completes, either become active (leaf set complete) or continue
 // leaf-set repair.
 func (n *Node) doneProbing(x id.ID) {
-	if ps, ok := n.probing[x]; ok {
-		if ps.timer != nil {
-			ps.timer.Cancel()
-		}
-		delete(n.probing, x)
+	ps, ok := n.probing[x]
+	if !ok {
+		// A reply for a probe that is not outstanding — duplicated or
+		// stale — is not a completion event. Without this guard, each
+		// such reply re-runs the repair logic below and can launch a
+		// fresh probe wave; under network-level message duplication the
+		// waves multiply into an exponential probe storm.
+		return
 	}
+	if ps.timer != nil {
+		ps.timer.Cancel()
+	}
+	delete(n.probing, x)
 	if len(n.probing) > 0 {
 		return
 	}
@@ -162,27 +182,19 @@ func (n *Node) repairLeafSet() {
 	progressed := false
 	if len(n.ls.Left()) < half {
 		if lm, ok := n.ls.Leftmost(); ok {
-			noteProbeCause("repair-left")
-			n.probeLeaf(lm)
-			progressed = true
+			progressed = n.repairProbe(lm, "repair-left") || progressed
 		} else if cand, ok := n.closestKnown(true); ok {
-			noteProbeCause("repair-left-empty")
-			n.probeLeaf(cand)
-			progressed = true
+			progressed = n.repairProbe(cand, "repair-left-empty") || progressed
 		}
 	}
 	if len(n.ls.Right()) < half {
 		if rm, ok := n.ls.Rightmost(); ok {
-			noteProbeCause("repair-right")
-			n.probeLeaf(rm)
-			progressed = true
+			progressed = n.repairProbe(rm, "repair-right") || progressed
 		} else if cand, ok := n.closestKnown(false); ok {
-			noteProbeCause("repair-right-empty")
-			n.probeLeaf(cand)
-			progressed = true
+			progressed = n.repairProbe(cand, "repair-right-empty") || progressed
 		}
 	}
-	if progressed {
+	if progressed || n.repairTimer != nil {
 		return
 	}
 	// Nothing left to probe. If the node is still joining, its seed may
@@ -190,6 +202,39 @@ func (n *Node) repairLeafSet() {
 	if !n.active {
 		n.scheduleJoinRetry()
 	}
+}
+
+// repairProbe launches a repair probe unless the same target was probed
+// less than one probe timeout ago. Without this pacing a stuck repair —
+// the target's reply supplies no acceptable new candidate, so the leaf
+// set stays deficient — re-probes the same farthest member the moment
+// each reply arrives, a self-sustaining loop at reply-RTT rate that
+// floods the network (observed under churn plus message duplication).
+// Paced-out probes arm a single retry timer that re-enters repair once
+// the pacing window has passed, so a genuinely stuck node keeps trying
+// at a bounded one-probe-per-To rate until new information arrives.
+func (n *Node) repairProbe(ref NodeRef, cause string) bool {
+	now := n.env.Now()
+	if last, ok := n.lastRepair[ref.ID]; ok && now-last < n.cfg.To {
+		n.armRepairRetry(n.cfg.To - (now - last))
+		return false
+	}
+	n.lastRepair[ref.ID] = now
+	noteProbeCause(cause)
+	n.probeLeaf(ref)
+	return true
+}
+
+func (n *Node) armRepairRetry(d time.Duration) {
+	if n.repairTimer != nil {
+		return
+	}
+	n.repairTimer = n.schedule(d, func() {
+		n.repairTimer = nil
+		if len(n.probing) == 0 && !n.ls.Complete() {
+			n.repairLeafSet()
+		}
+	})
 }
 
 // closestKnown finds the nearest known node on the requested side among

@@ -1,0 +1,90 @@
+package pastry
+
+import (
+	"time"
+)
+
+// Reconnect cache: markFaulty purges a peer from all routing state, and
+// once every node on one side of a network partition has purged every
+// node on the other side, no message ever crosses the cut again — the
+// overlay stays split forever after the partition heals. To degrade
+// gracefully, each node remembers recently purged peers and re-probes one
+// of them at a slow, bounded rate. Crash-failed peers cost a few extra
+// pings before their record expires; partitioned peers answer once the
+// network heals, and the normal direct-contact re-admission path merges
+// the rings back together.
+
+// graveRecord remembers one purged peer.
+type graveRecord struct {
+	ref     NodeRef
+	lastTry time.Duration
+	tries   int
+}
+
+// rememberFailed adds ref to the reconnect cache unless it is already
+// there; when the cache is full, the most-retried record (the one closest
+// to expiry) is evicted.
+func (n *Node) rememberFailed(ref NodeRef) {
+	if n.cfg.ReconnectInterval <= 0 {
+		return
+	}
+	if _, ok := n.graveyard[ref.ID]; ok {
+		return
+	}
+	if len(n.graveyard) >= n.cfg.ReconnectCacheSize {
+		var victim *graveRecord
+		for _, rec := range n.graveyard {
+			if victim == nil || rec.tries > victim.tries ||
+				(rec.tries == victim.tries && rec.ref.ID.Cmp(victim.ref.ID) > 0) {
+				victim = rec
+			}
+		}
+		delete(n.graveyard, victim.ref.ID)
+	}
+	n.graveyard[ref.ID] = &graveRecord{ref: ref, lastTry: n.env.Now()}
+}
+
+// forgetFailed drops ref's reconnect record (direct contact proved it
+// alive, or it re-entered routing state).
+func (n *Node) forgetFailed(ref NodeRef) {
+	delete(n.graveyard, ref.ID)
+}
+
+// retryReconnect probes the least-recently-tried cache record, expiring
+// records that have exhausted their retry budget. Ties break on the
+// identifier so replays are deterministic despite map iteration order.
+func (n *Node) retryReconnect(now time.Duration) {
+	var rec *graveRecord
+	for _, r := range n.graveyard {
+		if rec == nil || r.lastTry < rec.lastTry ||
+			(r.lastTry == rec.lastTry && r.ref.ID.Cmp(rec.ref.ID) < 0) {
+			rec = r
+		}
+	}
+	if rec == nil {
+		return
+	}
+	if rec.tries >= n.cfg.ReconnectRetries {
+		delete(n.graveyard, rec.ref.ID)
+		return
+	}
+	rec.tries++
+	rec.lastTry = now
+	n.probeReconnect(rec.ref)
+}
+
+// probeReconnect pings a peer previously marked faulty. The failure
+// record is lifted so the probe is not suppressed; if the probe times
+// out it is restored without re-counting the failure (the peer was
+// counted when first marked faulty) and without an announcement.
+func (n *Node) probeReconnect(ref NodeRef) {
+	if _, ok := n.probing[ref.ID]; ok {
+		return
+	}
+	delete(n.failed, ref.ID)
+	noteProbeCause("reconnect")
+	ps := &probeState{ref: ref, reconnect: true}
+	n.probing[ref.ID] = ps
+	n.sendProbeMsg(ps)
+	n.armProbeTimer(ps)
+}

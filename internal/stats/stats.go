@@ -41,6 +41,10 @@ type Window struct {
 	RatioSum    float64
 	RDPCount    int
 	HopsSum     int
+	// Retransmits counts per-hop retransmissions sent in this window
+	// (attributed to send time, not issue time): the signature of a
+	// retransmission storm under delay spikes or partitions.
+	Retransmits int
 	// nodeSeconds integrates the active-node count over the window.
 	nodeSeconds float64
 }
@@ -55,6 +59,79 @@ type Collector struct {
 	activeCursor time.Duration
 
 	joinLatencies []time.Duration
+
+	// Fault-phase accounting: when a fault window is set, lookup outcomes
+	// are additionally attributed (by issue time) to the phase before,
+	// during or after the fault.
+	faultSet             bool
+	faultStart, faultEnd time.Duration
+	phases               PhaseTotals
+}
+
+// Phase labels the position of a time relative to a fault window.
+type Phase int
+
+const (
+	// PhaseBefore is the healthy interval preceding the fault.
+	PhaseBefore Phase = iota
+	// PhaseDuring is the interval while the fault is active.
+	PhaseDuring
+	// PhaseAfter is the interval after the fault healed.
+	PhaseAfter
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseBefore:
+		return "before"
+	case PhaseDuring:
+		return "during"
+	case PhaseAfter:
+		return "after"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// PhaseCount accumulates lookup outcomes over one fault phase.
+type PhaseCount struct {
+	Issued    int
+	Delivered int
+	Incorrect int
+	Lost      int
+}
+
+// IncorrectRate is incorrect deliveries over issued lookups for the phase.
+func (p PhaseCount) IncorrectRate() float64 {
+	if p.Issued == 0 {
+		return 0
+	}
+	return float64(p.Incorrect) / float64(p.Issued)
+}
+
+// LossRate is lost lookups over issued lookups for the phase.
+func (p PhaseCount) LossRate() float64 {
+	if p.Issued == 0 {
+		return 0
+	}
+	return float64(p.Lost) / float64(p.Issued)
+}
+
+// PhaseTotals carries the three phases of a faulted run.
+type PhaseTotals struct {
+	Before, During, After PhaseCount
+}
+
+// ByPhase returns the count for the given phase.
+func (t PhaseTotals) ByPhase(p Phase) PhaseCount {
+	switch p {
+	case PhaseBefore:
+		return t.Before
+	case PhaseDuring:
+		return t.During
+	default:
+		return t.After
+	}
 }
 
 // NewCollector creates a collector for a run of the given duration with
@@ -91,10 +168,64 @@ func (c *Collector) MsgSent(t time.Duration, cat pastry.Category) {
 	}
 }
 
+// Retransmit records one per-hop retransmission sent at time t.
+func (c *Collector) Retransmit(t time.Duration) {
+	if i := c.winIndex(t); i >= 0 {
+		c.wins[i].Retransmits++
+	}
+}
+
+// SetFaultWindow declares the interval during which an injected fault is
+// active, enabling before/during/after phase accounting of lookup
+// outcomes. Call before measurement starts.
+func (c *Collector) SetFaultWindow(start, end time.Duration) {
+	if end < start {
+		panic("stats: fault window ends before it starts")
+	}
+	c.faultSet = true
+	c.faultStart, c.faultEnd = start, end
+}
+
+// ExtendFaultWindow pushes the fault window's end out to end (never
+// pulling it in). The harness uses it while an overlay is still repairing
+// after a fault cleared: the outage is not over — and lookups should not
+// count towards the "after" phase — until the overlay has re-converged.
+func (c *Collector) ExtendFaultWindow(end time.Duration) {
+	if !c.faultSet {
+		return
+	}
+	if end > c.faultEnd {
+		c.faultEnd = end
+	}
+}
+
+// phase maps an issue time to its fault phase; ok is false when no fault
+// window was declared or the time precedes measurement.
+func (c *Collector) phase(t time.Duration) (*PhaseCount, bool) {
+	if !c.faultSet || t < 0 {
+		return nil, false
+	}
+	switch {
+	case t < c.faultStart:
+		return &c.phases.Before, true
+	case t < c.faultEnd:
+		return &c.phases.During, true
+	default:
+		return &c.phases.After, true
+	}
+}
+
+// Phases returns the per-phase lookup outcomes (zero value when no fault
+// window was declared).
+func (c *Collector) Phases() PhaseTotals { return c.phases }
+
 // LookupIssued records a lookup entering the overlay at time t.
 func (c *Collector) LookupIssued(t time.Duration) {
 	if i := c.winIndex(t); i >= 0 {
 		c.wins[i].Issued++
+	}
+	if p, ok := c.phase(t); ok {
+		p.Issued++
 	}
 }
 
@@ -112,6 +243,12 @@ func (c *Collector) LookupDelivered(issueT time.Duration, correct bool, delay, n
 	if !correct {
 		w.Incorrect++
 	}
+	if p, ok := c.phase(issueT); ok {
+		p.Delivered++
+		if !correct {
+			p.Incorrect++
+		}
+	}
 	if netDelay > 0 {
 		w.DelaySum += delay.Seconds()
 		w.NetDelaySum += netDelay.Seconds()
@@ -125,6 +262,9 @@ func (c *Collector) LookupDelivered(issueT time.Duration, correct bool, delay, n
 func (c *Collector) LookupLost(issueT time.Duration) {
 	if i := c.winIndex(issueT); i >= 0 {
 		c.wins[i].Lost++
+	}
+	if p, ok := c.phase(issueT); ok {
+		p.Lost++
 	}
 }
 
@@ -190,6 +330,10 @@ type WindowStat struct {
 	LossRate      float64
 	IncorrectRate float64
 	Issued        int
+	// RetxPerNodeSec is per-hop retransmissions sent per second per node:
+	// the retransmission-storm indicator under delay spikes and
+	// partitions.
+	RetxPerNodeSec float64
 }
 
 // Finalize integrates the remaining node-seconds and produces per-window
@@ -216,6 +360,7 @@ func (c *Collector) Finalize() []WindowStat {
 				row.ByCategory[pastry.Category(cat)] = float64(w.ControlSent[cat]) / w.nodeSeconds
 			}
 			row.ControlPerNodeSec = float64(control) / w.nodeSeconds
+			row.RetxPerNodeSec = float64(w.Retransmits) / w.nodeSeconds
 		}
 		if w.RDPCount > 0 && w.NetDelaySum > 0 {
 			row.RDP = w.DelaySum / w.NetDelaySum
@@ -248,6 +393,11 @@ type Totals struct {
 	MeanActive        float64
 	Joins             int
 	MedianJoinLatency time.Duration
+	// Retransmits is the run total of per-hop retransmissions;
+	// PeakRetxPerNodeSec is the highest windowed retransmission rate (the
+	// storm's amplitude).
+	Retransmits        int
+	PeakRetxPerNodeSec float64
 }
 
 // Totals aggregates over the full run. Call after the run completes;
@@ -264,12 +414,18 @@ func (c *Collector) Totals() Totals {
 		t.Delivered += w.Delivered
 		t.Incorrect += w.Incorrect
 		t.Lost += w.Lost
+		t.Retransmits += w.Retransmits
 		delaySum += w.DelaySum
 		netDelaySum += w.NetDelaySum
 		ratioSum += w.RatioSum
 		rdpN += w.RDPCount
 		hopsSum += w.HopsSum
 		nodeSec += w.nodeSeconds
+		if w.nodeSeconds > 0 {
+			if r := float64(w.Retransmits) / w.nodeSeconds; r > t.PeakRetxPerNodeSec {
+				t.PeakRetxPerNodeSec = r
+			}
+		}
 		for cat := 1; cat < numCategories; cat++ {
 			control[pastry.Category(cat)] += w.ControlSent[cat]
 		}
@@ -333,6 +489,30 @@ func isControl(c pastry.Category) bool {
 type CDFPoint struct {
 	Latency  time.Duration
 	Fraction float64
+}
+
+// RecoveryStat measures overlay repair after an injected fault heals: the
+// virtual time from the heal instant until every active node's ring
+// neighbours again match the ground truth (and every leaf set is
+// complete).
+type RecoveryStat struct {
+	// HealAt is the measured time the fault healed.
+	HealAt time.Duration
+	// RepairedAt is the measured time global ring consistency was first
+	// observed after the heal (polling granularity applies).
+	RepairedAt time.Duration
+	// Repaired reports whether consistency was restored before the run
+	// ended.
+	Repaired bool
+}
+
+// TimeToRepair is the repair latency; zero when the overlay never
+// repaired within the run.
+func (r RecoveryStat) TimeToRepair() time.Duration {
+	if !r.Repaired {
+		return 0
+	}
+	return r.RepairedAt - r.HealAt
 }
 
 // String renders totals compactly for reports.

@@ -32,14 +32,47 @@ type UDP struct {
 	loop chan func()
 	done chan struct{}
 
-	mu     sync.Mutex
-	closed bool
-	node   *pastry.Node
+	mu            sync.Mutex
+	closed        bool
+	node          *pastry.Node
+	onDecodeError func(remote net.Addr, err error)
+	onSendError   func(to pastry.NodeRef, err error)
 
 	sent, received atomic.Uint64
 
-	// OnDecodeError, if set, observes malformed packets (for logging).
-	OnDecodeError func(remote net.Addr, err error)
+	// addrs caches resolved destination addresses per overlay address.
+	// It is confined to the event loop (Send runs there), so it needs no
+	// lock; it grows to at most the number of distinct peers seen.
+	addrs map[string]*net.UDPAddr
+}
+
+// OnDecodeError registers fn to observe malformed packets (for logging).
+// Safe to call at any time; fn runs on the read loop.
+func (t *UDP) OnDecodeError(fn func(remote net.Addr, err error)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.onDecodeError = fn
+}
+
+// OnSendError registers fn to observe failed sends: unresolvable
+// addresses, oversized messages and socket write errors. Safe to call at
+// any time; fn runs on the event loop.
+func (t *UDP) OnSendError(fn func(to pastry.NodeRef, err error)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.onSendError = fn
+}
+
+func (t *UDP) decodeErrorHook() func(net.Addr, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.onDecodeError
+}
+
+func (t *UDP) sendErrorHook() func(pastry.NodeRef, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.onSendError
 }
 
 // Listen opens a UDP socket on addr (for example "127.0.0.1:0") and starts
@@ -57,6 +90,7 @@ func Listen(addr string, seed int64) (*UDP, error) {
 		conn:  conn,
 		start: time.Now(),
 		rng:   rand.New(rand.NewSource(seed)),
+		addrs: make(map[string]*net.UDPAddr),
 		loop:  make(chan func(), 1024),
 		done:  make(chan struct{}),
 	}
@@ -170,8 +204,8 @@ func (t *UDP) readLoop() {
 		}
 		msg, err := pastry.DecodeMessage(append([]byte(nil), buf[:n]...))
 		if err != nil {
-			if t.OnDecodeError != nil {
-				t.OnDecodeError(remote, err)
+			if fn := t.decodeErrorHook(); fn != nil {
+				fn(remote, err)
 			}
 			continue
 		}
@@ -194,18 +228,35 @@ func (e *udpEnv) Now() time.Duration { return time.Since(e.start) }
 // Rand returns the transport's random source (only touched from the loop).
 func (e *udpEnv) Rand() *rand.Rand { return e.rng }
 
-// Send encodes and transmits a message. Delivery is best-effort UDP.
+// Send encodes and transmits a message. Delivery is best-effort UDP;
+// failures are reported through OnSendError and otherwise dropped, like a
+// lost datagram.
 func (e *udpEnv) Send(to pastry.NodeRef, m pastry.Message) {
-	dst, err := net.ResolveUDPAddr("udp", to.Addr)
-	if err != nil {
-		return
+	dst, ok := e.addrs[to.Addr]
+	if !ok {
+		var err error
+		dst, err = net.ResolveUDPAddr("udp", to.Addr)
+		if err != nil {
+			e.sendError(to, fmt.Errorf("transport: resolve %q: %w", to.Addr, err))
+			return
+		}
+		e.addrs[to.Addr] = dst
 	}
 	buf := pastry.EncodeMessage(m)
 	if len(buf) > maxPacket {
+		e.sendError(to, fmt.Errorf("transport: message of %d bytes exceeds %d", len(buf), maxPacket))
 		return
 	}
 	e.sent.Add(1)
-	_, _ = e.conn.WriteToUDP(buf, dst)
+	if _, err := e.conn.WriteToUDP(buf, dst); err != nil {
+		e.sendError(to, err)
+	}
+}
+
+func (e *udpEnv) sendError(to pastry.NodeRef, err error) {
+	if fn := (*UDP)(e).sendErrorHook(); fn != nil {
+		fn(to, err)
+	}
 }
 
 // Schedule arms a real timer whose callback runs on the event loop.

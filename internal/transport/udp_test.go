@@ -178,12 +178,12 @@ func TestUDPMalformedPacketIgnored(t *testing.T) {
 	}
 	defer tr.Close()
 	sawErr := make(chan error, 4)
-	tr.OnDecodeError = func(remote net.Addr, err error) {
+	tr.OnDecodeError(func(remote net.Addr, err error) {
 		select {
 		case sawErr <- err:
 		default:
 		}
-	}
+	})
 	if _, err := tr.CreateNode(id.Zero, liveConfig(), nil); err != nil {
 		t.Fatal(err)
 	}
@@ -206,5 +206,66 @@ func TestUDPMalformedPacketIgnored(t *testing.T) {
 	tr.DoSync(func(n *pastry.Node) { alive = n.Alive() })
 	if !alive {
 		t.Fatal("node died on malformed packet")
+	}
+}
+
+func TestUDPSendErrorHook(t *testing.T) {
+	tr, err := Listen("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	errs := make(chan error, 4)
+	tr.OnSendError(func(to pastry.NodeRef, err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	})
+	if _, err := tr.CreateNode(id.Zero, liveConfig(), nil); err != nil {
+		t.Fatal(err)
+	}
+	tr.DoSync(func(n *pastry.Node) { n.Bootstrap() })
+	// An unresolvable address must surface through the hook, not vanish.
+	tr.DoSync(func(n *pastry.Node) {
+		tr.Env().Send(pastry.NodeRef{Addr: "no-such-host-xyz:bogus"}, &pastry.Envelope{})
+	})
+	select {
+	case <-errs:
+	case <-time.After(5 * time.Second):
+		t.Fatal("send error hook never fired for unresolvable address")
+	}
+	sent, _ := tr.Counters()
+	if sent != 0 {
+		t.Fatalf("failed send counted as sent: %d", sent)
+	}
+}
+
+func TestUDPAddressCacheReused(t *testing.T) {
+	tr, err := Listen("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	peer, err := Listen("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	if _, err := tr.CreateNode(id.Zero, liveConfig(), nil); err != nil {
+		t.Fatal(err)
+	}
+	to := pastry.NodeRef{ID: id.New(1, 0), Addr: peer.Addr()}
+	tr.DoSync(func(n *pastry.Node) {
+		tr.Env().Send(to, &pastry.Envelope{})
+		tr.Env().Send(to, &pastry.Envelope{})
+	})
+	var cached int
+	tr.DoSync(func(n *pastry.Node) { cached = len(tr.addrs) })
+	if cached != 1 {
+		t.Fatalf("address cache holds %d entries, want 1", cached)
+	}
+	if sent, _ := tr.Counters(); sent != 2 {
+		t.Fatalf("sent = %d, want 2", sent)
 	}
 }
