@@ -1,13 +1,19 @@
 // Command mspastry-node runs one live MSPastry node over UDP, optionally
 // with the replicated key-value store on top, and takes commands on stdin.
 // It is the deployment counterpart of the simulator: the same protocol
-// code, real sockets.
+// code, real sockets — and the same telemetry, so the metric names on
+// /metrics match what the simulator emits.
 //
 // Start a two-node overlay on one machine:
 //
-//	mspastry-node -listen 127.0.0.1:7001 -bootstrap
+//	mspastry-node -listen 127.0.0.1:7001 -admin 127.0.0.1:8081 -bootstrap
 //	# note the printed "id=<hex>" line, then in another terminal:
 //	mspastry-node -listen 127.0.0.1:7002 -seed-addr 127.0.0.1:7001 -seed-id <hex>
+//
+// The admin listener serves /metrics (Prometheus text), /status (JSON leaf
+// set, routing table and counters), /traces (recent lookup hop traces) and
+// /debug/pprof. The stdout status command, /status and /metrics all read
+// from the same telemetry registry, so they cannot disagree.
 //
 // Commands on stdin:
 //
@@ -27,9 +33,11 @@ import (
 	"strings"
 	"time"
 
+	"mspastry/internal/admin"
 	"mspastry/internal/dht"
 	"mspastry/internal/id"
 	"mspastry/internal/pastry"
+	"mspastry/internal/telemetry"
 	"mspastry/internal/transport"
 )
 
@@ -37,6 +45,7 @@ func main() {
 	log.SetFlags(0)
 	var (
 		listen    = flag.String("listen", "127.0.0.1:0", "UDP listen address")
+		adminAddr = flag.String("admin", "", "HTTP admin listen address for /metrics, /status, /traces and /debug/pprof (empty = off)")
 		bootstrap = flag.Bool("bootstrap", false, "start a new overlay instead of joining")
 		seedAddr  = flag.String("seed-addr", "", "seed node address (host:port)")
 		seedID    = flag.String("seed-id", "", "seed node identifier (32 hex digits)")
@@ -52,6 +61,13 @@ func main() {
 	}
 	defer tr.Close()
 
+	// One registry backs every view of this node: the Prometheus endpoint,
+	// the JSON status and the stdout status command.
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(256)
+	obs := telemetry.NewOverlay(reg, tracer, telemetry.OverlayOptions{Inner: logObserver{}})
+	tr.SetMetricsSink(telemetry.NewTransportMetrics(reg))
+
 	var self id.ID
 	if *nodeID != "" {
 		if self, err = id.Parse(*nodeID); err != nil {
@@ -59,7 +75,7 @@ func main() {
 		}
 	}
 	cfg := pastry.DefaultConfig()
-	node, err := tr.CreateNode(self, cfg, logObserver{})
+	node, err := tr.CreateNode(self, cfg, obs)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,7 +84,37 @@ func main() {
 		store = dht.New(n, tr.Env(), dht.DefaultConfig())
 	})
 
+	// Scrape-time snapshot: copy the protocol and DHT tallies into gauges
+	// on the event loop, so every Snapshot/WritePrometheus sees values that
+	// are mutually consistent. Collect hooks only run from HTTP handlers
+	// and the stdin loop, never from the event loop itself.
+	trtGauge := reg.Gauge("mspastry_trt_seconds",
+		"Most recent self-tuned routing-table probing period Trt.")
+	reg.OnCollect(func() {
+		tr.DoSync(func(n *pastry.Node) {
+			if n == nil {
+				return
+			}
+			telemetry.RecordNodeCounters(reg, n.Stats())
+			telemetry.RecordDHTCounters(reg, store.Counters(), store.LocalObjects())
+			trtGauge.Set(n.Trt().Seconds())
+		})
+	})
+
 	fmt.Printf("node up: addr=%s id=%s\n", tr.Addr(), node.Ref().ID)
+
+	var adm *admin.Server
+	if *adminAddr != "" {
+		adm, err = admin.Serve(*adminAddr, reg, admin.Options{
+			Status: func() any { return statusSnapshot(tr, store) },
+			Tracer: tracer,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer adm.Close()
+		fmt.Printf("admin endpoint: http://%s/metrics /status /traces /debug/pprof\n", adm.Addr())
+	}
 
 	switch {
 	case *bootstrap:
@@ -86,8 +132,10 @@ func main() {
 		log.Fatal("need -bootstrap, or -seed-addr and -seed-id")
 	}
 
+	stopStatus := make(chan struct{})
+	defer close(stopStatus)
 	if *status > 0 {
-		go statusLoop(tr, *status)
+		go statusLoop(reg, tr, store, *status, stopStatus)
 	}
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -144,9 +192,12 @@ func main() {
 			tr.Do(func(n *pastry.Node) { n.Lookup(key, nil) })
 			fmt.Printf("lookup for %s routed (the root logs the delivery)\n", key)
 		case "status":
-			printStatus(tr)
+			printStatus(reg, tr, store)
 		case "quit", "exit":
 			fmt.Println("leaving the overlay")
+			// The deferred cleanup runs in reverse order: stop the status
+			// ticker, shut the admin listener, then close the transport
+			// (which crash-stops the node and cancels its timers).
 			return
 		default:
 			fmt.Println("commands: put, get, lookup, status, quit")
@@ -155,28 +206,113 @@ func main() {
 	}
 }
 
-func statusLoop(tr *transport.UDP, every time.Duration) {
-	for range time.Tick(every) {
-		printStatus(tr)
+func statusLoop(reg *telemetry.Registry, tr *transport.UDP, store *dht.Store, every time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			printStatus(reg, tr, store)
+		case <-stop:
+			return
+		}
 	}
 }
 
-func printStatus(tr *transport.UDP) {
+// nodeStatus is the /status JSON shape (also behind the stdout command).
+type nodeStatus struct {
+	ID             string     `json:"id"`
+	Addr           string     `json:"addr"`
+	Active         bool       `json:"active"`
+	TrtSeconds     float64    `json:"trt_seconds"`
+	LeafLeft       []string   `json:"leaf_left"`
+	LeafRight      []string   `json:"leaf_right"`
+	RoutingEntries int        `json:"routing_entries"`
+	RoutingRows    [][]string `json:"routing_rows"`
+	LocalObjects   int        `json:"local_objects"`
+}
+
+func statusSnapshot(tr *transport.UDP, store *dht.Store) nodeStatus {
+	var s nodeStatus
 	tr.DoSync(func(n *pastry.Node) {
 		if n == nil {
 			return
 		}
-		fmt.Printf("status: active=%v leaf=%d rt=%d trt=%v\n",
-			n.Active(), n.Leaf().Size(), n.Table().Count(), n.Trt().Round(time.Second))
-		if left, ok := n.Leaf().LeftNeighbour(); ok {
-			fmt.Printf("  left  neighbour: %s\n", left.ID)
+		s.ID = n.Ref().ID.String()
+		s.Addr = n.Ref().Addr
+		s.Active = n.Active()
+		s.TrtSeconds = n.Trt().Seconds()
+		for _, ref := range n.Leaf().Left() {
+			s.LeafLeft = append(s.LeafLeft, ref.ID.String())
 		}
-		if right, ok := n.Leaf().RightNeighbour(); ok {
-			fmt.Printf("  right neighbour: %s\n", right.ID)
+		for _, ref := range n.Leaf().Right() {
+			s.LeafRight = append(s.LeafRight, ref.ID.String())
 		}
-		sent, recv := tr.Counters()
-		fmt.Printf("  messages: sent=%d received=%d\n", sent, recv)
+		rt := n.Table()
+		s.RoutingEntries = rt.Count()
+		for r := 0; r < rt.NumRows(); r++ {
+			row := rt.Row(r)
+			if len(row) == 0 {
+				continue
+			}
+			ids := make([]string, 0, len(row))
+			for _, ref := range row {
+				ids = append(ids, ref.ID.String())
+			}
+			s.RoutingRows = append(s.RoutingRows, ids)
+		}
+		s.LocalObjects = store.LocalObjects()
 	})
+	return s
+}
+
+// printStatus renders the same data the admin endpoint serves: the node
+// snapshot plus counters read back from the telemetry registry.
+func printStatus(reg *telemetry.Registry, tr *transport.UDP, store *dht.Store) {
+	s := statusSnapshot(tr, store)
+	snap := reg.Snapshot()
+	m := make(map[string]float64)
+	for _, mv := range snap {
+		key := mv.Name
+		if mv.Label != "" {
+			key += "{" + mv.Label + "}"
+		}
+		if mv.Quantiles != nil {
+			m[key+":count"] = float64(mv.Count)
+		} else {
+			m[key] = mv.Value
+		}
+	}
+	fmt.Printf("status: active=%v leaf=%d rt=%d trt=%s objects=%d\n",
+		s.Active, len(s.LeafLeft)+len(s.LeafRight), s.RoutingEntries,
+		time.Duration(s.TrtSeconds*float64(time.Second)).Round(time.Second), s.LocalObjects)
+	if len(s.LeafLeft) > 0 {
+		fmt.Printf("  left  neighbour: %s\n", s.LeafLeft[0])
+	}
+	if len(s.LeafRight) > 0 {
+		fmt.Printf("  right neighbour: %s\n", s.LeafRight[0])
+	}
+	fmt.Printf("  lookups: issued=%.0f delivered=%.0f  acks=%.0f  retransmits=%.0f\n",
+		m["mspastry_lookups_issued_total"], m["mspastry_lookups_delivered_total"],
+		m["mspastry_ack_rtt_seconds:count"], m["mspastry_node_retransmits"])
+	fmt.Printf("  transport: sent=%.0f recv=%.0f bytes_out=%.0f bytes_in=%.0f\n",
+		sumByName(snap, "mspastry_transport_packets_sent_total"),
+		sumByName(snap, "mspastry_transport_packets_received_total"),
+		m["mspastry_transport_bytes_sent_total"], m["mspastry_transport_bytes_received_total"])
+	fmt.Printf("  dht: puts=%.0f gets=%.0f retries=%.0f replicas=%.0f\n",
+		m["mspastry_dht_puts"], m["mspastry_dht_gets"],
+		m["mspastry_dht_retries"], m["mspastry_dht_replicas_pushed"])
+}
+
+// sumByName totals every labelled child of one metric family.
+func sumByName(snap []telemetry.MetricValue, name string) float64 {
+	var total float64
+	for _, mv := range snap {
+		if mv.Name == name {
+			total += mv.Value
+		}
+	}
+	return total
 }
 
 // logObserver prints protocol events.

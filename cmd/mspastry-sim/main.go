@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -29,6 +31,7 @@ import (
 	"mspastry/internal/netmodel"
 	"mspastry/internal/pastry"
 	"mspastry/internal/stats"
+	"mspastry/internal/telemetry"
 	"mspastry/internal/trace"
 )
 
@@ -66,8 +69,25 @@ func main() {
 		dup        = flag.Float64("dup", 0, "message duplication probability during the fault window")
 		reorder    = flag.Float64("reorder", 0, "message holdback (reordering) probability during the fault window")
 		reorderMax = flag.Duration("reorder-max", 100*time.Millisecond, "maximum holdback for reordered messages")
+
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		metricsDump = flag.String("metrics-dump", "", "write the telemetry registry in Prometheus text format at exit (\"-\" for stdout)")
+		traceLook   = flag.Bool("trace-lookups", false, "record per-lookup hop traces and print route statistics")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	topo, err := harness.BuildTopology(*topoName, *topoDiv, *seed)
 	if err != nil {
@@ -105,6 +125,10 @@ func main() {
 	cfg.Window = *window
 	cfg.SetupRamp = *ramp
 	cfg.Seed = *seed
+	if *metricsDump != "" || *traceLook {
+		cfg.Telemetry = telemetry.NewRegistry()
+		cfg.TraceLookups = *traceLook
+	}
 
 	if *faultAt > 0 {
 		switch {
@@ -193,10 +217,42 @@ func main() {
 				rec.HealAt.Round(time.Second), rec.Repaired, rec.TimeToRepair().Round(time.Second))
 		}
 	}
+	if *traceLook {
+		ts := res.TraceStats
+		fmt.Printf("hop traces: delivered=%d dropped=%d outstanding=%d reconstructed=%d (%.2f%%)\n",
+			ts.Delivered, ts.Dropped, ts.Outstanding, ts.Reconstructed,
+			ts.ReconstructionRate()*100)
+	}
 	fmt.Printf("simulated %v in %v (%d events, %.0f events/s)\n",
 		tr.Duration, elapsed.Round(time.Millisecond), res.SimEvents,
 		float64(res.SimEvents)/elapsed.Seconds())
 	if t.IncorrectRate > 0 {
 		fmt.Fprintf(os.Stderr, "note: incorrect deliveries observed (expected only with link loss)\n")
+	}
+
+	if *metricsDump != "" {
+		out := os.Stdout
+		if *metricsDump != "-" {
+			f, err := os.Create(*metricsDump)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := cfg.Telemetry.WritePrometheus(out); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,161 @@
+// Package admin serves a live node's observability surface over HTTP:
+//
+//	/metrics        telemetry registry in Prometheus text format
+//	/status         JSON snapshot (leaf set, routing table, counters)
+//	/traces         recently completed lookup hop traces, as JSON
+//	/debug/pprof/   the standard net/http/pprof handlers
+//
+// The server is read-only and unauthenticated; bind it to loopback (the
+// default in mspastry-node) unless the network is trusted.
+package admin
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"mspastry/internal/telemetry"
+)
+
+// Options configures the optional endpoints.
+type Options struct {
+	// Status, when set, backs /status: it is called once per request and
+	// its result is rendered as JSON. It runs on an HTTP goroutine, so it
+	// must do its own synchronisation (e.g. transport.DoSync).
+	Status func() any
+	// Tracer, when set, backs /traces.
+	Tracer *telemetry.Tracer
+}
+
+// Server is a running admin endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (for example "127.0.0.1:0") and serves the registry
+// until Close.
+func Serve(addr string, reg *telemetry.Registry, opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("admin: listen %q: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		var status any
+		if opts.Status != nil {
+			status = opts.Status()
+		}
+		writeJSON(w, map[string]any{
+			"status":  status,
+			"metrics": reg.Snapshot(),
+		})
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Tracer == nil {
+			http.Error(w, "hop tracing disabled", http.StatusNotFound)
+			return
+		}
+		n := 50
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				n = v
+			}
+		}
+		writeJSON(w, map[string]any{
+			"stats":  opts.Tracer.Stats(),
+			"traces": traceJSON(opts.Tracer.Recent(n)),
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:43125".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// hopJSON and lookupTraceJSON flatten the tracer's records into a stable,
+// self-describing JSON shape (IDs as hex strings, durations in seconds).
+type hopJSON struct {
+	From  string  `json:"from"`
+	To    string  `json:"to"`
+	Index int     `json:"index"`
+	At    float64 `json:"at_seconds"`
+	Cause string  `json:"cause"`
+	Retx  bool    `json:"retx"`
+}
+
+type lookupTraceJSON struct {
+	TraceID   uint64    `json:"trace_id"`
+	Key       string    `json:"key"`
+	Origin    string    `json:"origin"`
+	Delivered bool      `json:"delivered"`
+	Root      string    `json:"root,omitempty"`
+	DropCause string    `json:"drop_cause,omitempty"`
+	Issued    float64   `json:"issued_seconds"`
+	DoneAt    float64   `json:"done_seconds"`
+	Retx      int       `json:"retx"`
+	Path      []string  `json:"path,omitempty"`
+	Hops      []hopJSON `json:"hops"`
+}
+
+func traceJSON(traces []*telemetry.LookupTrace) []lookupTraceJSON {
+	out := make([]lookupTraceJSON, 0, len(traces))
+	for _, t := range traces {
+		j := lookupTraceJSON{
+			TraceID:   t.TraceID,
+			Key:       t.Key.String(),
+			Origin:    t.Origin.ID.String(),
+			Delivered: t.Delivered,
+			DropCause: t.DropCause,
+			Issued:    t.Issued.Seconds(),
+			DoneAt:    t.DoneAt.Seconds(),
+			Retx:      t.Retx,
+		}
+		if t.Delivered {
+			j.Root = t.Root.ID.String()
+		}
+		if path, ok := t.Path(); ok {
+			for _, ref := range path {
+				j.Path = append(j.Path, ref.ID.String())
+			}
+		}
+		for _, h := range t.Hops {
+			j.Hops = append(j.Hops, hopJSON{
+				From:  h.From.ID.String(),
+				To:    h.To.ID.String(),
+				Index: h.Index,
+				At:    h.At.Seconds(),
+				Cause: h.Cause,
+				Retx:  h.Retx,
+			})
+		}
+		out = append(out, j)
+	}
+	return out
+}

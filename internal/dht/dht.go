@@ -62,9 +62,25 @@ type Store struct {
 	nextReq uint64
 	pending map[uint64]*pendingOp
 
-	// Stats counters.
-	Puts, Gets, Retries, ReplicasPushed uint64
+	counters Counters
 }
+
+// Counters tallies the store's activity and outcomes for telemetry.
+type Counters struct {
+	// Puts and Gets count operations started; the outcome fields count
+	// how they finished.
+	Puts, Gets                  uint64
+	PutOK, PutFail              uint64
+	GetOK, GetNotFound, GetFail uint64
+	Retries                     uint64
+	ReplicasPushed              uint64
+	// Sweeps counts replica responsibility sweeps; SweepHandoffs counts
+	// objects handed to the current root and dropped by a sweep.
+	Sweeps, SweepHandoffs uint64
+}
+
+// Counters returns a snapshot of the store's tallies.
+func (s *Store) Counters() Counters { return s.counters }
 
 type pendingOp struct {
 	key     id.ID
@@ -109,7 +125,7 @@ func (s *Store) HasLocal(key id.ID) bool {
 // Put stores value under key with end-to-end acknowledgement; done is
 // called exactly once.
 func (s *Store) Put(key id.ID, value []byte, done func(error)) {
-	s.Puts++
+	s.counters.Puts++
 	s.nextReq++
 	op := &pendingOp{key: key, isPut: true, value: value, donePut: done}
 	s.pending[s.nextReq] = op
@@ -119,7 +135,7 @@ func (s *Store) Put(key id.ID, value []byte, done func(error)) {
 // Get fetches the value under key with end-to-end acknowledgement; done is
 // called exactly once.
 func (s *Store) Get(key id.ID, done func([]byte, error)) {
-	s.Gets++
+	s.counters.Gets++
 	s.nextReq++
 	op := &pendingOp{key: key, doneGet: done}
 	s.pending[s.nextReq] = op
@@ -150,7 +166,7 @@ func (s *Store) opTimeout(reqID uint64) {
 		return
 	}
 	op.retries++
-	s.Retries++
+	s.counters.Retries++
 	s.sendOp(reqID, op)
 }
 
@@ -164,8 +180,21 @@ func (s *Store) finish(reqID uint64, value []byte, err error) {
 		op.timer.Cancel()
 	}
 	if op.isPut {
+		if err != nil {
+			s.counters.PutFail++
+		} else {
+			s.counters.PutOK++
+		}
 		op.donePut(err)
 		return
+	}
+	switch {
+	case err == nil:
+		s.counters.GetOK++
+	case errors.Is(err, ErrNotFound):
+		s.counters.GetNotFound++
+	default:
+		s.counters.GetFail++
 	}
 	op.doneGet(value, err)
 }
@@ -237,7 +266,7 @@ func (s *Store) handleResponse(payload []byte) {
 // replicate pushes an object to the k-1 leaf-set members closest to key.
 func (s *Store) replicate(key id.ID, value []byte) {
 	for _, m := range s.replicaTargets(key) {
-		s.ReplicasPushed++
+		s.counters.ReplicasPushed++
 		s.node.SendDirect(m, encodeReplicate(key, value))
 	}
 }
@@ -281,6 +310,7 @@ func (s *Store) sweep() {
 	if !s.node.Active() {
 		return
 	}
+	s.counters.Sweeps++
 	members := s.node.Leaf().Members()
 	for key, value := range s.objects {
 		rank := s.rankForKey(key, members)
@@ -294,6 +324,7 @@ func (s *Store) sweep() {
 			if root, ok := s.closestMember(key, members); ok {
 				s.node.SendDirect(root, encodeReplicate(key, value))
 			}
+			s.counters.SweepHandoffs++
 			delete(s.objects, key)
 		}
 	}

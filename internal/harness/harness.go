@@ -15,6 +15,7 @@ import (
 	"mspastry/internal/netmodel"
 	"mspastry/internal/pastry"
 	"mspastry/internal/stats"
+	"mspastry/internal/telemetry"
 	"mspastry/internal/topology"
 	"mspastry/internal/trace"
 )
@@ -45,6 +46,13 @@ type Config struct {
 	// delay spikes, duplication, reordering, per-link loss) applied on
 	// top of the uniform loss model. Event times are measured times.
 	Faults *FaultScript
+	// Telemetry, when non-nil, receives the run's metrics under the same
+	// metric names a live mspastry-node exports on /metrics, so sim
+	// experiments and deployments feed identical dashboards.
+	Telemetry *telemetry.Registry
+	// TraceLookups records per-lookup hop traces (requires Telemetry);
+	// the result carries the tracer and its route-reconstruction stats.
+	TraceLookups bool
 	// Seed seeds all randomness (ids, lookup keys, loss, faults).
 	Seed int64
 }
@@ -95,6 +103,10 @@ type Result struct {
 	// TrtMedian samples the self-tuned probing period at the end of the
 	// run (median over live nodes).
 	TrtMedian time.Duration
+	// Tracer holds the per-lookup hop traces (nil unless TraceLookups was
+	// set); TraceStats summarises route-path reconstruction.
+	Tracer     *telemetry.Tracer
+	TraceStats telemetry.TraceStats
 }
 
 // Run executes the experiment.
@@ -119,6 +131,11 @@ type run struct {
 	dropReasons map[pastry.DropReason]int
 	timeoutLost int
 	recovery    []stats.RecoveryStat
+
+	// tel mirrors protocol events into the shared telemetry registry and
+	// hop tracer (nil when cfg.Telemetry is unset).
+	tel    *telemetry.Overlay
+	tracer *telemetry.Tracer
 }
 
 type slot struct {
@@ -163,6 +180,13 @@ func newRun(cfg Config) *run {
 	first := cfg.Topo.Attach(cfg.Trace.Nodes, sim.Rand())
 	for i := range r.slots {
 		r.slots[i] = &slot{ep: nw.NewEndpoint(first + i)}
+	}
+	if cfg.Telemetry != nil {
+		if cfg.TraceLookups {
+			r.tracer = telemetry.NewTracer(0)
+		}
+		r.tel = telemetry.NewOverlay(cfg.Telemetry, r.tracer,
+			telemetry.OverlayOptions{SharedClock: true})
 	}
 	nw.OnSend(func(from *netmodel.Endpoint, to pastry.NodeRef, m pastry.Message) {
 		t := r.measured()
@@ -249,6 +273,18 @@ func (r *run) execute() Result {
 		res.TrtMedian = trts[len(trts)/2]
 	}
 	res.Counters = r.counters
+	if r.cfg.Telemetry != nil {
+		// Mirror the run-aggregated node counters into the registry so a
+		// metrics dump carries the same names a live node serves.
+		telemetry.RecordNodeCounters(r.cfg.Telemetry, r.counters)
+		r.cfg.Telemetry.Gauge("mspastry_trt_seconds",
+			"Most recent self-tuned routing-table probing period Trt.").
+			Set(res.TrtMedian.Seconds())
+	}
+	if r.tracer != nil {
+		res.Tracer = r.tracer
+		res.TraceStats = r.tracer.Stats()
+	}
 	return res
 }
 
@@ -371,7 +407,9 @@ func (r *run) sweepLost() {
 	}
 }
 
-// runObserver adapts *run to pastry.Observer.
+// runObserver adapts *run to pastry.Observer (plus the TraceObserver and
+// StatsObserver extensions, which it forwards to the telemetry overlay
+// when one is configured).
 type runObserver run
 
 // Activated implements pastry.Observer: the node enters the ground-truth
@@ -384,13 +422,61 @@ func (o *runObserver) Activated(n *pastry.Node, joinLatency time.Duration) {
 	if r.measured() >= 0 {
 		r.col.JoinLatency(joinLatency)
 	}
+	if r.tel != nil {
+		r.tel.Activated(n, joinLatency)
+	}
 	r.scheduleLookups(n)
+}
+
+// LookupIssued implements pastry.TraceObserver.
+func (o *runObserver) LookupIssued(n *pastry.Node, lk *pastry.Lookup) {
+	if r := (*run)(o); r.tel != nil {
+		r.tel.LookupIssued(n, lk)
+	}
+}
+
+// LookupHop implements pastry.TraceObserver.
+func (o *runObserver) LookupHop(n *pastry.Node, lk *pastry.Lookup, to pastry.NodeRef, cause pastry.HopCause) {
+	if r := (*run)(o); r.tel != nil {
+		r.tel.LookupHop(n, lk, to, cause)
+	}
+}
+
+// MessageSent implements pastry.StatsObserver.
+func (o *runObserver) MessageSent(n *pastry.Node, cat pastry.Category, retx bool) {
+	if r := (*run)(o); r.tel != nil {
+		r.tel.MessageSent(n, cat, retx)
+	}
+}
+
+// AckRTT implements pastry.StatsObserver.
+func (o *runObserver) AckRTT(n *pastry.Node, to pastry.NodeRef, rtt time.Duration) {
+	if r := (*run)(o); r.tel != nil {
+		r.tel.AckRTT(n, to, rtt)
+	}
+}
+
+// TrtTuned implements pastry.StatsObserver.
+func (o *runObserver) TrtTuned(n *pastry.Node, trt time.Duration) {
+	if r := (*run)(o); r.tel != nil {
+		r.tel.TrtTuned(n, trt)
+	}
+}
+
+// LeafSetRepair implements pastry.StatsObserver.
+func (o *runObserver) LeafSetRepair(n *pastry.Node, cause string) {
+	if r := (*run)(o); r.tel != nil {
+		r.tel.LeafSetRepair(n, cause)
+	}
 }
 
 // Delivered implements pastry.Observer: judge the delivery against the
 // ground-truth root and record RDP.
 func (o *runObserver) Delivered(n *pastry.Node, lk *pastry.Lookup) {
 	r := (*run)(o)
+	if r.tel != nil {
+		r.tel.Delivered(n, lk)
+	}
 	k := lookupKey{origin: lk.Origin.Addr, seq: lk.Seq}
 	out, ok := r.outstanding[k]
 	if !ok {
@@ -410,6 +496,9 @@ func (o *runObserver) Delivered(n *pastry.Node, lk *pastry.Lookup) {
 // LookupDropped implements pastry.Observer.
 func (o *runObserver) LookupDropped(n *pastry.Node, lk *pastry.Lookup, reason pastry.DropReason) {
 	r := (*run)(o)
+	if r.tel != nil {
+		r.tel.LookupDropped(n, lk, reason)
+	}
 	k := lookupKey{origin: lk.Origin.Addr, seq: lk.Seq}
 	out, ok := r.outstanding[k]
 	if !ok {

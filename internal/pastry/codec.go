@@ -259,6 +259,7 @@ func appendDuration(buf []byte, d time.Duration) []byte {
 func appendLookup(buf []byte, lk *Lookup) []byte {
 	buf = append(buf, lk.Key.Bytes()...)
 	buf = binary.AppendUvarint(buf, lk.Seq)
+	buf = binary.AppendUvarint(buf, lk.TraceID)
 	buf = appendRef(buf, lk.Origin)
 	buf = appendDuration(buf, lk.Issued)
 	buf = binary.AppendUvarint(buf, uint64(lk.Hops))
@@ -367,6 +368,7 @@ func (d *decoder) lookup() *Lookup {
 	}
 	lk := &Lookup{Key: id.FromBytes(raw)}
 	lk.Seq = d.uvarint()
+	lk.TraceID = d.uvarint()
 	lk.Origin = d.ref()
 	lk.Issued = d.duration()
 	lk.Hops = d.int()

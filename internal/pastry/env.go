@@ -64,6 +64,66 @@ type Observer interface {
 	LookupDropped(n *Node, lk *Lookup, reason DropReason)
 }
 
+// HopCause classifies why a lookup hop transmission happened.
+type HopCause int
+
+const (
+	// HopForward is the first transmission of a hop.
+	HopForward HopCause = iota
+	// HopReroute is a retransmission to an alternative next hop after a
+	// missed per-hop ack.
+	HopReroute
+	// HopBackoff is a backed-off retransmission to the same next hop
+	// (no alternative existed, typically because the key's root itself is
+	// the suspected node).
+	HopBackoff
+)
+
+func (c HopCause) String() string {
+	switch c {
+	case HopForward:
+		return "forward"
+	case HopReroute:
+		return "reroute"
+	case HopBackoff:
+		return "backoff"
+	default:
+		return "unknown"
+	}
+}
+
+// TraceObserver is an optional Observer extension receiving per-lookup
+// causal events: issue and every forwarding transmission. Together with
+// Delivered/LookupDropped these reconstruct the full route path of a
+// lookup from its TraceID. The node detects the extension once, at
+// construction.
+type TraceObserver interface {
+	// LookupIssued fires at the origin when a lookup enters the overlay
+	// (before any routing).
+	LookupIssued(n *Node, lk *Lookup)
+	// LookupHop fires each time a node transmits a lookup one hop further.
+	LookupHop(n *Node, lk *Lookup, to NodeRef, cause HopCause)
+}
+
+// StatsObserver is an optional Observer extension receiving protocol
+// measurements that the plain Observer does not carry: per-category sent
+// traffic, per-hop ack RTT samples, self-tuned probing-period updates and
+// leaf-set repair activity.
+type StatsObserver interface {
+	// MessageSent fires for every message the node transmits; retx marks
+	// per-hop retransmissions.
+	MessageSent(n *Node, cat Category, retx bool)
+	// AckRTT fires with each first-transmission per-hop ack round trip
+	// (Karn's rule: retransmitted hops contribute no sample).
+	AckRTT(n *Node, to NodeRef, rtt time.Duration)
+	// TrtTuned fires when self-tuning recomputes the routing-table
+	// probing period.
+	TrtTuned(n *Node, trt time.Duration)
+	// LeafSetRepair fires when the node launches leaf-set repair probes;
+	// cause distinguishes repair directions and failure announcements.
+	LeafSetRepair(n *Node, cause string)
+}
+
 // App is an application running on an overlay node (for example the
 // Squirrel web cache or Scribe multicast). All callbacks run in the node's
 // serialised context.

@@ -89,6 +89,12 @@ type Lookup struct {
 	Key    id.ID
 	Seq    uint64
 	Origin NodeRef
+	// TraceID identifies the lookup end to end for hop tracing: it is
+	// carried across hops so every forwarding node's trace events can be
+	// reassembled into the full route path. Derived deterministically
+	// from (origin, seq, issue time), so tracing never perturbs the
+	// seeded random streams of a simulation.
+	TraceID uint64
 	// Issued is the origin's clock when the lookup entered the overlay,
 	// used by the metrics pipeline to compute delay.
 	Issued time.Duration

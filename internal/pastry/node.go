@@ -12,9 +12,13 @@ import (
 // off timers the node schedules. All methods must be called from the Env's
 // serialised context.
 type Node struct {
-	cfg  Config
-	env  Env
-	obs  Observer
+	cfg Config
+	env Env
+	obs Observer
+	// tobs and sobs cache the observer's optional telemetry extensions
+	// (detected once at construction; nil when not implemented).
+	tobs TraceObserver
+	sobs StatsObserver
 	self NodeRef
 
 	ls *LeafSet
@@ -181,6 +185,8 @@ func NewNode(self NodeRef, cfg Config, env Env, obs Observer) (*Node, error) {
 		distProbed:        make(map[id.ID]time.Duration),
 		lsCandidateProbed: make(map[id.ID]time.Duration),
 	}
+	n.tobs, _ = obs.(TraceObserver)
+	n.sobs, _ = obs.(StatsObserver)
 	n.trtCurrent = n.initialTrt()
 	n.trtLocal = n.trtCurrent
 	return n, nil
@@ -195,6 +201,11 @@ func (n *Node) initialTrt() time.Duration {
 
 // Ref returns the node's identity.
 func (n *Node) Ref() NodeRef { return n.self }
+
+// Now returns the node's current clock reading (virtual time in the
+// simulator, monotonic wall time over a real transport). Exposed for
+// observers, which have no Env of their own.
+func (n *Node) Now() time.Duration { return n.env.Now() }
 
 // Active reports whether the node has completed its join.
 func (n *Node) Active() bool { return n.active }
@@ -305,6 +316,10 @@ func (n *Node) Lookup(key id.ID, payload []byte) (uint64, bool) {
 		Issued:  n.env.Now(),
 		NoAck:   !n.cfg.PerHopAcks,
 		Payload: payload,
+	}
+	lk.TraceID = deriveTraceID(n.self, lk.Seq, lk.Issued)
+	if n.tobs != nil {
+		n.tobs.LookupIssued(n, lk)
 	}
 	// Route asynchronously so the caller observes the sequence number
 	// before any delivery callback can fire (the origin may itself be the
@@ -434,7 +449,44 @@ func (n *Node) markCandidateProbe(x id.ID) bool {
 // send transmits a message and records the contact for suppression.
 func (n *Node) send(to NodeRef, m Message) {
 	n.lastSent[to.ID] = n.env.Now()
+	if n.sobs != nil {
+		env, isEnv := m.(*Envelope)
+		n.sobs.MessageSent(n, m.Category(), isEnv && env.Retx)
+	}
 	n.env.Send(to, m)
+}
+
+// deriveTraceID computes the lookup trace identifier: FNV-1a over the
+// origin's identity, sequence number and issue time. Deterministic — no
+// random draw — so enabling tracing does not shift a simulation's seeded
+// random streams.
+func deriveTraceID(origin NodeRef, seq uint64, issued time.Duration) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	for _, b := range origin.ID.Bytes() {
+		mix(b)
+	}
+	for i := 0; i < len(origin.Addr); i++ {
+		mix(origin.Addr[i])
+	}
+	for i := 0; i < 8; i++ {
+		mix(byte(seq >> (8 * i)))
+	}
+	v := uint64(issued)
+	for i := 0; i < 8; i++ {
+		mix(byte(v >> (8 * i)))
+	}
+	if h == 0 {
+		h = 1 // zero means "untraced"
+	}
+	return h
 }
 
 // schedule wraps Env.Schedule with a liveness guard so callbacks never run

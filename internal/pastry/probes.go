@@ -133,6 +133,9 @@ func (n *Node) markFaulty(ref NodeRef, announce bool) {
 	delete(n.trtHints, ref.ID)
 	n.recordFailure(n.env.Now())
 	if announce && wasLeaf && n.active {
+		if n.sobs != nil {
+			n.sobs.LeafSetRepair(n, "announce")
+		}
 		for _, m := range n.ls.Members() {
 			noteProbeCause("announce")
 			n.probeLeaf(m)
@@ -221,6 +224,9 @@ func (n *Node) repairProbe(ref NodeRef, cause string) bool {
 	}
 	n.lastRepair[ref.ID] = now
 	noteProbeCause(cause)
+	if n.sobs != nil {
+		n.sobs.LeafSetRepair(n, cause)
+	}
 	n.probeLeaf(ref)
 	return true
 }

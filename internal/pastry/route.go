@@ -131,6 +131,9 @@ func (n *Node) sendHop(lk *Lookup, jr *JoinRequest, key id.ID, to NodeRef, tried
 		n.pending[xfer] = ph
 		ph.timer = n.schedule(n.rtoFor(to), func() { n.hopTimeout(xfer) })
 	}
+	if lk != nil && n.tobs != nil {
+		n.tobs.LookupHop(n, lk, to, HopForward)
+	}
 	n.send(to, env)
 }
 
@@ -212,6 +215,9 @@ func (n *Node) reroute(ph *pendingHop) {
 	ph.retx = true
 	n.pending[xfer] = ph
 	ph.timer = n.schedule(n.rtoFor(next), func() { n.hopTimeout(xfer) })
+	if ph.lookup != nil && n.tobs != nil {
+		n.tobs.LookupHop(n, ph.lookup, next, HopReroute)
+	}
 	n.send(next, env)
 }
 
@@ -235,6 +241,9 @@ func (n *Node) retransmitSame(ph *pendingHop) {
 	rto := n.rtoFor(ph.to) << uint(ph.attempts)
 	rto = clampDuration(rto, n.cfg.MinRTO, n.cfg.MaxRTO)
 	ph.timer = n.schedule(rto, func() { n.hopTimeout(xfer) })
+	if ph.lookup != nil && n.tobs != nil {
+		n.tobs.LookupHop(n, ph.lookup, ph.to, HopBackoff)
+	}
 	n.send(ph.to, env)
 }
 
@@ -288,7 +297,11 @@ func (n *Node) handleAck(ack *Ack) {
 			est = &rttEstimator{}
 			n.rto[ph.to.ID] = est
 		}
-		est.observe(n.env.Now() - ph.sentAt)
+		rtt := n.env.Now() - ph.sentAt
+		est.observe(rtt)
+		if n.sobs != nil {
+			n.sobs.AckRTT(n, ph.to, rtt)
+		}
 	}
 }
 

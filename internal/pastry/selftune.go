@@ -175,4 +175,7 @@ func (n *Node) retune(now time.Duration) {
 		vals = append(vals, v)
 	}
 	n.trtCurrent = clampDuration(medianDuration(vals), n.cfg.MinTrt(), maxTrt)
+	if n.sobs != nil {
+		n.sobs.TrtTuned(n, n.trtCurrent)
+	}
 }

@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"mspastry/internal/dht"
+	"mspastry/internal/pastry"
+)
+
+// TransportMetrics records packet-level transport activity. It satisfies
+// the transport package's MetricsSink interface (which is defined there to
+// keep the transport dependency-free); install it with SetMetricsSink.
+type TransportMetrics struct {
+	sentPackets *CounterVec
+	sentBytes   *Counter
+	recvPackets *CounterVec
+	recvBytes   *Counter
+	sendErrors  *Counter
+	decodeError *Counter
+}
+
+// NewTransportMetrics registers the transport metric families in reg.
+func NewTransportMetrics(reg *Registry) *TransportMetrics {
+	return &TransportMetrics{
+		sentPackets: reg.CounterVec("mspastry_transport_packets_sent_total",
+			"Datagrams written to the socket, by traffic category.", "category"),
+		sentBytes: reg.Counter("mspastry_transport_bytes_sent_total",
+			"Encoded payload bytes written to the socket."),
+		recvPackets: reg.CounterVec("mspastry_transport_packets_received_total",
+			"Well-formed datagrams received, by traffic category.", "category"),
+		recvBytes: reg.Counter("mspastry_transport_bytes_received_total",
+			"Payload bytes of well-formed datagrams received."),
+		sendErrors: reg.Counter("mspastry_transport_send_errors_total",
+			"Failed sends: unresolvable addresses, oversized messages, socket errors."),
+		decodeError: reg.Counter("mspastry_transport_decode_errors_total",
+			"Malformed packets dropped by the decoder."),
+	}
+}
+
+// PacketSent implements transport.MetricsSink.
+func (m *TransportMetrics) PacketSent(cat pastry.Category, bytes int) {
+	m.sentPackets.With(cat.String()).Inc()
+	m.sentBytes.Add(uint64(bytes))
+}
+
+// PacketReceived implements transport.MetricsSink.
+func (m *TransportMetrics) PacketReceived(cat pastry.Category, bytes int) {
+	m.recvPackets.With(cat.String()).Inc()
+	m.recvBytes.Add(uint64(bytes))
+}
+
+// SendError implements transport.MetricsSink.
+func (m *TransportMetrics) SendError() { m.sendErrors.Inc() }
+
+// DecodeError implements transport.MetricsSink.
+func (m *TransportMetrics) DecodeError() { m.decodeError.Inc() }
+
+// RecordDHTCounters copies a DHT store's tallies into the registry as
+// gauges (put/get outcomes, end-to-end retries, replica pushes, sweeps).
+// Run it from a Registry.OnCollect hook so every scrape sees fresh values.
+func RecordDHTCounters(reg *Registry, c dht.Counters, localObjects int) {
+	set := func(name, help string, v float64) {
+		reg.Gauge(name, help).Set(v)
+	}
+	set("mspastry_dht_puts", "DHT put operations started.", float64(c.Puts))
+	set("mspastry_dht_put_ok", "DHT puts acknowledged end-to-end.", float64(c.PutOK))
+	set("mspastry_dht_put_failures", "DHT puts that exhausted retries.", float64(c.PutFail))
+	set("mspastry_dht_gets", "DHT get operations started.", float64(c.Gets))
+	set("mspastry_dht_get_ok", "DHT gets that returned a value.", float64(c.GetOK))
+	set("mspastry_dht_get_notfound", "DHT gets for absent keys.", float64(c.GetNotFound))
+	set("mspastry_dht_get_failures", "DHT gets that exhausted retries.", float64(c.GetFail))
+	set("mspastry_dht_retries", "End-to-end request retransmissions.", float64(c.Retries))
+	set("mspastry_dht_replicas_pushed", "Replica pushes to leaf-set neighbours.", float64(c.ReplicasPushed))
+	set("mspastry_dht_sweeps", "Replica responsibility sweeps run.", float64(c.Sweeps))
+	set("mspastry_dht_sweep_handoffs", "Objects handed off and dropped by sweeps.", float64(c.SweepHandoffs))
+	set("mspastry_dht_local_objects", "Objects currently stored on this node.", float64(localObjects))
+}

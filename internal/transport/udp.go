@@ -37,6 +37,7 @@ type UDP struct {
 	node          *pastry.Node
 	onDecodeError func(remote net.Addr, err error)
 	onSendError   func(to pastry.NodeRef, err error)
+	sink          MetricsSink
 
 	sent, received atomic.Uint64
 
@@ -73,6 +74,38 @@ func (t *UDP) sendErrorHook() func(pastry.NodeRef, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.onSendError
+}
+
+// MetricsSink observes the transport's packet-level activity. The
+// telemetry package provides an implementation backed by its registry; the
+// interface keeps this package free of any dependency on it. Sent/received
+// callbacks run on the event loop and the read loop respectively, so
+// implementations must be safe for concurrent use.
+type MetricsSink interface {
+	// PacketSent fires after a datagram is written, with the message's
+	// traffic category and encoded size.
+	PacketSent(cat pastry.Category, bytes int)
+	// PacketReceived fires for every well-formed datagram.
+	PacketReceived(cat pastry.Category, bytes int)
+	// SendError fires when a send fails: unresolvable address, oversized
+	// message or socket write error.
+	SendError()
+	// DecodeError fires for malformed packets.
+	DecodeError()
+}
+
+// SetMetricsSink installs the packet-level metrics sink. Safe to call at
+// any time; nil removes it.
+func (t *UDP) SetMetricsSink(sink MetricsSink) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sink = sink
+}
+
+func (t *UDP) metricsSink() MetricsSink {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sink
 }
 
 // Listen opens a UDP socket on addr (for example "127.0.0.1:0") and starts
@@ -204,12 +237,18 @@ func (t *UDP) readLoop() {
 		}
 		msg, err := pastry.DecodeMessage(append([]byte(nil), buf[:n]...))
 		if err != nil {
+			if sink := t.metricsSink(); sink != nil {
+				sink.DecodeError()
+			}
 			if fn := t.decodeErrorHook(); fn != nil {
 				fn(remote, err)
 			}
 			continue
 		}
 		t.received.Add(1)
+		if sink := t.metricsSink(); sink != nil {
+			sink.PacketReceived(msg.Category(), n)
+		}
 		t.Do(func(node *pastry.Node) {
 			if node != nil {
 				node.Receive(msg)
@@ -250,10 +289,17 @@ func (e *udpEnv) Send(to pastry.NodeRef, m pastry.Message) {
 	e.sent.Add(1)
 	if _, err := e.conn.WriteToUDP(buf, dst); err != nil {
 		e.sendError(to, err)
+		return
+	}
+	if sink := (*UDP)(e).metricsSink(); sink != nil {
+		sink.PacketSent(m.Category(), len(buf))
 	}
 }
 
 func (e *udpEnv) sendError(to pastry.NodeRef, err error) {
+	if sink := (*UDP)(e).metricsSink(); sink != nil {
+		sink.SendError()
+	}
 	if fn := (*UDP)(e).sendErrorHook(); fn != nil {
 		fn(to, err)
 	}
