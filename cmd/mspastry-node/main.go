@@ -19,9 +19,15 @@
 //
 //	put <key> <value...>   store a value in the DHT
 //	get <key>              fetch a value
+//	del <key>              delete a value (tombstoned, propagates)
 //	lookup <key>           route a bare lookup (delivery logged at the root)
 //	status                 print leaf set, routing table and counters
 //	quit                   leave (crash-stop) and exit
+//
+// With -data-dir the DHT store is disk-backed: every write lands in a
+// CRC-framed write-ahead log before it is acknowledged, so objects this
+// node holds survive a restart and re-enter replication through the
+// anti-entropy sweeps.
 package main
 
 import (
@@ -37,6 +43,7 @@ import (
 	"mspastry/internal/dht"
 	"mspastry/internal/id"
 	"mspastry/internal/pastry"
+	objstore "mspastry/internal/store"
 	"mspastry/internal/telemetry"
 	"mspastry/internal/transport"
 )
@@ -52,6 +59,7 @@ func main() {
 		nodeID    = flag.String("id", "", "this node's identifier (default: random)")
 		seed      = flag.Int64("seed", time.Now().UnixNano(), "random seed")
 		status    = flag.Duration("status", 0, "print a status line at this interval (0 = off)")
+		dataDir   = flag.String("data-dir", "", "directory for the durable object store (empty = in-memory)")
 	)
 	flag.Parse()
 
@@ -79,9 +87,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	dhtCfg := dht.DefaultConfig()
+	if *dataDir != "" {
+		// SyncEvery 1 fsyncs each write before the put is acknowledged:
+		// the node is a durability demo first, a throughput demo second.
+		backend, err := objstore.Open(*dataDir, objstore.DiskOptions{SyncEvery: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if replayed := backend.Stats().Replayed; replayed > 0 {
+			fmt.Printf("recovered %d records from %s (%d live objects)\n",
+				replayed, *dataDir, backend.Len())
+		}
+		dhtCfg.Backend = backend
+	}
 	var store *dht.Store
 	tr.DoSync(func(n *pastry.Node) {
-		store = dht.New(n, tr.Env(), dht.DefaultConfig())
+		store = dht.New(n, tr.Env(), dhtCfg)
 	})
 
 	// Scrape-time snapshot: copy the protocol and DHT tallies into gauges
@@ -97,6 +119,7 @@ func main() {
 			}
 			telemetry.RecordNodeCounters(reg, n.Stats())
 			telemetry.RecordDHTCounters(reg, store.Counters(), store.LocalObjects())
+			telemetry.RecordStoreStats(reg, store.StoreStats())
 			trtGauge.Set(n.Trt().Seconds())
 		})
 	})
@@ -106,7 +129,7 @@ func main() {
 	var adm *admin.Server
 	if *adminAddr != "" {
 		adm, err = admin.Serve(*adminAddr, reg, admin.Options{
-			Status: func() any { return statusSnapshot(tr, store) },
+			Status: func() any { return statusSnapshot(tr, store, *dataDir != "") },
 			Tracer: tracer,
 		})
 		if err != nil {
@@ -135,11 +158,12 @@ func main() {
 	stopStatus := make(chan struct{})
 	defer close(stopStatus)
 	if *status > 0 {
-		go statusLoop(reg, tr, store, *status, stopStatus)
+		go statusLoop(reg, tr, store, *dataDir != "", *status, stopStatus)
 	}
 
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("> ")
+loop:
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
 		if len(fields) == 0 {
@@ -183,6 +207,21 @@ func main() {
 			} else {
 				fmt.Printf("%s\n", res.v)
 			}
+		case "del":
+			if len(fields) != 2 {
+				fmt.Println("usage: del <key>")
+				break
+			}
+			key := id.FromKey(fields[1])
+			done := make(chan error, 1)
+			tr.Do(func(*pastry.Node) {
+				store.Delete(key, func(err error) { done <- err })
+			})
+			if err := <-done; err != nil {
+				fmt.Printf("del failed: %v\n", err)
+			} else {
+				fmt.Printf("deleted %q (key %s)\n", fields[1], key)
+			}
 		case "lookup":
 			if len(fields) != 2 {
 				fmt.Println("usage: lookup <key>")
@@ -192,27 +231,28 @@ func main() {
 			tr.Do(func(n *pastry.Node) { n.Lookup(key, nil) })
 			fmt.Printf("lookup for %s routed (the root logs the delivery)\n", key)
 		case "status":
-			printStatus(reg, tr, store)
+			printStatus(reg, tr, store, *dataDir != "")
 		case "quit", "exit":
 			fmt.Println("leaving the overlay")
-			// The deferred cleanup runs in reverse order: stop the status
-			// ticker, shut the admin listener, then close the transport
-			// (which crash-stops the node and cancels its timers).
-			return
+			break loop
 		default:
-			fmt.Println("commands: put, get, lookup, status, quit")
+			fmt.Println("commands: put, get, del, lookup, status, quit")
 		}
 		fmt.Print("> ")
 	}
+	// Flush the store from the event loop before the deferred cleanup
+	// (stop the status ticker, shut the admin listener, close the
+	// transport) runs, so a disk-backed WAL is complete on exit.
+	tr.DoSync(func(*pastry.Node) { store.Close() })
 }
 
-func statusLoop(reg *telemetry.Registry, tr *transport.UDP, store *dht.Store, every time.Duration, stop <-chan struct{}) {
+func statusLoop(reg *telemetry.Registry, tr *transport.UDP, store *dht.Store, durable bool, every time.Duration, stop <-chan struct{}) {
 	t := time.NewTicker(every)
 	defer t.Stop()
 	for {
 		select {
 		case <-t.C:
-			printStatus(reg, tr, store)
+			printStatus(reg, tr, store, durable)
 		case <-stop:
 			return
 		}
@@ -221,18 +261,29 @@ func statusLoop(reg *telemetry.Registry, tr *transport.UDP, store *dht.Store, ev
 
 // nodeStatus is the /status JSON shape (also behind the stdout command).
 type nodeStatus struct {
-	ID             string     `json:"id"`
-	Addr           string     `json:"addr"`
-	Active         bool       `json:"active"`
-	TrtSeconds     float64    `json:"trt_seconds"`
-	LeafLeft       []string   `json:"leaf_left"`
-	LeafRight      []string   `json:"leaf_right"`
-	RoutingEntries int        `json:"routing_entries"`
-	RoutingRows    [][]string `json:"routing_rows"`
-	LocalObjects   int        `json:"local_objects"`
+	ID             string      `json:"id"`
+	Addr           string      `json:"addr"`
+	Active         bool        `json:"active"`
+	TrtSeconds     float64     `json:"trt_seconds"`
+	LeafLeft       []string    `json:"leaf_left"`
+	LeafRight      []string    `json:"leaf_right"`
+	RoutingEntries int         `json:"routing_entries"`
+	RoutingRows    [][]string  `json:"routing_rows"`
+	LocalObjects   int         `json:"local_objects"`
+	Store          storeStatus `json:"store"`
 }
 
-func statusSnapshot(tr *transport.UDP, store *dht.Store) nodeStatus {
+// storeStatus reports the object-store backend on /status.
+type storeStatus struct {
+	Durable       bool   `json:"durable"`
+	Objects       int    `json:"objects"`
+	Tombstones    int    `json:"tombstones"`
+	WALBytes      int64  `json:"wal_bytes"`
+	SnapshotBytes int64  `json:"snapshot_bytes"`
+	Compactions   uint64 `json:"compactions"`
+}
+
+func statusSnapshot(tr *transport.UDP, store *dht.Store, durable bool) nodeStatus {
 	var s nodeStatus
 	tr.DoSync(func(n *pastry.Node) {
 		if n == nil {
@@ -262,14 +313,23 @@ func statusSnapshot(tr *transport.UDP, store *dht.Store) nodeStatus {
 			s.RoutingRows = append(s.RoutingRows, ids)
 		}
 		s.LocalObjects = store.LocalObjects()
+		st := store.StoreStats()
+		s.Store = storeStatus{
+			Durable:       durable,
+			Objects:       st.Objects,
+			Tombstones:    st.Tombstones,
+			WALBytes:      st.WALBytes,
+			SnapshotBytes: st.SnapshotBytes,
+			Compactions:   st.Compactions,
+		}
 	})
 	return s
 }
 
 // printStatus renders the same data the admin endpoint serves: the node
 // snapshot plus counters read back from the telemetry registry.
-func printStatus(reg *telemetry.Registry, tr *transport.UDP, store *dht.Store) {
-	s := statusSnapshot(tr, store)
+func printStatus(reg *telemetry.Registry, tr *transport.UDP, store *dht.Store, durable bool) {
+	s := statusSnapshot(tr, store, durable)
 	snap := reg.Snapshot()
 	m := make(map[string]float64)
 	for _, mv := range snap {
@@ -299,9 +359,15 @@ func printStatus(reg *telemetry.Registry, tr *transport.UDP, store *dht.Store) {
 		sumByName(snap, "mspastry_transport_packets_sent_total"),
 		sumByName(snap, "mspastry_transport_packets_received_total"),
 		m["mspastry_transport_bytes_sent_total"], m["mspastry_transport_bytes_received_total"])
-	fmt.Printf("  dht: puts=%.0f gets=%.0f retries=%.0f replicas=%.0f\n",
-		m["mspastry_dht_puts"], m["mspastry_dht_gets"],
-		m["mspastry_dht_retries"], m["mspastry_dht_replicas_pushed"])
+	fmt.Printf("  dht: puts=%.0f gets=%.0f dels=%.0f retries=%.0f replicas=%.0f syncs=%.0f repaired=%.0f\n",
+		m["mspastry_dht_puts"], m["mspastry_dht_gets"], m["mspastry_dht_deletes"],
+		m["mspastry_dht_retries"], m["mspastry_dht_replicas_pushed"],
+		m["mspastry_dht_sync_rounds"], m["mspastry_dht_sync_keys_repaired"])
+	if s.Store.Durable {
+		fmt.Printf("  store: objects=%d tombstones=%d wal=%dB snapshot=%dB compactions=%d\n",
+			s.Store.Objects, s.Store.Tombstones, s.Store.WALBytes,
+			s.Store.SnapshotBytes, s.Store.Compactions)
+	}
 }
 
 // sumByName totals every labelled child of one metric family.

@@ -100,4 +100,43 @@ func main() {
 		log.Fatal("data lost despite replication")
 	}
 	fmt.Println("all documents survived the root failure via leaf-set replication")
+
+	// Delete the first 5 documents. Deletes write tombstones that
+	// replicate like values, so replicas that missed the delete cannot
+	// resurrect a document through the anti-entropy sweeps.
+	dels := 0
+	for i := 0; i < 5; i++ {
+		stores[sim.Rand().Intn(n)].Delete(keys[i], func(err error) {
+			if err == nil {
+				dels++
+			}
+		})
+		sim.RunUntil(sim.Now() + time.Second)
+	}
+	// Several sweep cycles: time for a stale replica to try to push the
+	// value back, and for the tombstone to win.
+	sim.RunUntil(sim.Now() + 2*time.Minute)
+	log.Printf("deleted %d/5 documents, waited out two sweep cycles", dels)
+
+	stillDeleted, resurrected := 0, 0
+	for i := 0; i < 5; i++ {
+		reader := stores[sim.Rand().Intn(n)]
+		if !reader.Node().Alive() {
+			reader = stores[0]
+		}
+		reader.Get(keys[i], func(v []byte, err error) {
+			if err == mspastry.ErrDHTNotFound {
+				stillDeleted++
+			} else {
+				resurrected++
+			}
+		})
+		sim.RunUntil(sim.Now() + time.Second)
+	}
+	sim.RunUntil(sim.Now() + 30*time.Second)
+	fmt.Printf("deleted documents: %d stay deleted, %d resurrected\n", stillDeleted, resurrected)
+	if resurrected > 0 {
+		log.Fatal("a deleted document came back")
+	}
+	fmt.Println("tombstones held: deletes propagate instead of resurrecting")
 }

@@ -54,6 +54,7 @@ func startLiveNode(t *testing.T, seed int64) *liveNode {
 			}
 			telemetry.RecordNodeCounters(reg, n.Stats())
 			telemetry.RecordDHTCounters(reg, ln.store.Counters(), ln.store.LocalObjects())
+			telemetry.RecordStoreStats(reg, ln.store.StoreStats())
 		})
 	})
 	return ln
@@ -145,6 +146,8 @@ func TestTwoNodeOverlayAdmin(t *testing.T) {
 		"# TYPE mspastry_transport_packets_sent_total counter",
 		"mspastry_transport_packets_sent_total{category=",
 		"mspastry_node_heartbeats_sent",
+		"mspastry_dht_sync_rounds",
+		"mspastry_store_objects",
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("/metrics missing %q", want)

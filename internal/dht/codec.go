@@ -1,0 +1,343 @@
+package dht
+
+import (
+	"encoding/binary"
+
+	"mspastry/internal/id"
+	"mspastry/internal/store"
+)
+
+// Wire formats: every message starts with a 1-byte kind. Put/Get/Delete
+// requests travel through the overlay as lookup payloads and are answered
+// with a direct ack; everything from kindReplicate down travels only on
+// direct links between replicas. All decoders are total: arbitrary bytes
+// either parse or return ok=false, never panic.
+const (
+	kindPut byte = iota + 1
+	kindGet
+	kindPutAck
+	kindGetResp
+	kindReplicate
+	kindDelete
+	kindDeleteAck
+	// Anti-entropy, in exchange order: the initiator opens with the root
+	// digest of an arc; the responder answers "OK" or its bucket layer; the
+	// initiator sends per-key summaries for divergent buckets; the
+	// responder pulls the keys it is missing. Values move as kindReplicate.
+	kindSyncRoot
+	kindSyncRootOK
+	kindSyncBuckets
+	kindSyncKeys
+	kindSyncPull
+	// Handoff: a node far outside a key's replica set offers the object's
+	// summary to the root, which answers Want (send the value) or Have
+	// (already current) — either way the offerer may then drop its copy.
+	kindHandoffOffer
+	kindHandoffWant
+	kindHandoffHave
+)
+
+// --- Client requests (lookup payloads) ---
+
+func encodePut(reqID uint64, value []byte) []byte {
+	buf := append(make([]byte, 0, 16+len(value)), kindPut)
+	buf = binary.AppendUvarint(buf, reqID)
+	return append(buf, value...)
+}
+
+func encodeGet(reqID uint64) []byte {
+	buf := append(make([]byte, 0, 16), kindGet)
+	return binary.AppendUvarint(buf, reqID)
+}
+
+func encodeDelete(reqID uint64) []byte {
+	buf := append(make([]byte, 0, 16), kindDelete)
+	return binary.AppendUvarint(buf, reqID)
+}
+
+func decodeRequest(buf []byte) (kind byte, reqID uint64, value []byte, ok bool) {
+	if len(buf) < 2 || (buf[0] != kindPut && buf[0] != kindGet && buf[0] != kindDelete) {
+		return 0, 0, nil, false
+	}
+	v, n := binary.Uvarint(buf[1:])
+	if n <= 0 {
+		return 0, 0, nil, false
+	}
+	rest := buf[1+n:]
+	if buf[0] != kindPut && len(rest) != 0 {
+		return 0, 0, nil, false // only puts carry a value
+	}
+	return buf[0], v, rest, true
+}
+
+// --- End-to-end acks ---
+
+func encodePutAck(reqID uint64) []byte {
+	buf := append(make([]byte, 0, 16), kindPutAck)
+	return binary.AppendUvarint(buf, reqID)
+}
+
+func decodePutAck(buf []byte) (uint64, bool) {
+	return decodeAck(kindPutAck, buf)
+}
+
+func encodeDeleteAck(reqID uint64) []byte {
+	buf := append(make([]byte, 0, 16), kindDeleteAck)
+	return binary.AppendUvarint(buf, reqID)
+}
+
+func decodeDeleteAck(buf []byte) (uint64, bool) {
+	return decodeAck(kindDeleteAck, buf)
+}
+
+func decodeAck(kind byte, buf []byte) (uint64, bool) {
+	if len(buf) < 2 || buf[0] != kind {
+		return 0, false
+	}
+	v, n := binary.Uvarint(buf[1:])
+	return v, n > 0
+}
+
+func encodeGetResp(reqID uint64, found bool, value []byte) []byte {
+	buf := append(make([]byte, 0, 16+len(value)), kindGetResp)
+	if found {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, reqID)
+	return append(buf, value...)
+}
+
+func decodeGetResp(buf []byte) (reqID uint64, found bool, value []byte, ok bool) {
+	if len(buf) < 3 || buf[0] != kindGetResp {
+		return 0, false, nil, false
+	}
+	found = buf[1] != 0
+	v, n := binary.Uvarint(buf[2:])
+	if n <= 0 {
+		return 0, false, nil, false
+	}
+	return v, found, buf[2+n:], true
+}
+
+// --- Replica value transfer ---
+
+// encodeReplicate carries one full versioned object; it is the only sync
+// or replication message that moves values.
+func encodeReplicate(o store.Object) []byte {
+	buf := append(make([]byte, 0, 40+len(o.Value)), kindReplicate)
+	return store.EncodeObject(buf, o)
+}
+
+func decodeReplicate(buf []byte) (store.Object, bool) {
+	if len(buf) < 1 || buf[0] != kindReplicate {
+		return store.Object{}, false
+	}
+	return store.DecodeObject(buf[1:])
+}
+
+// --- Anti-entropy control messages ---
+
+// kindSyncRoot: sid uvarint | lo 16 | hi 16 | root 16. sid identifies the
+// initiator's round; lo/hi carry the arc so both sides digest the same
+// key domain regardless of their leaf-set views.
+func encodeSyncRoot(sid uint64, lo, hi id.ID, root store.Digest) []byte {
+	buf := append(make([]byte, 0, 64), kindSyncRoot)
+	buf = binary.AppendUvarint(buf, sid)
+	buf = append(buf, lo.Bytes()...)
+	buf = append(buf, hi.Bytes()...)
+	return append(buf, root[:]...)
+}
+
+func decodeSyncRoot(buf []byte) (sid uint64, lo, hi id.ID, root store.Digest, ok bool) {
+	if len(buf) < 2 || buf[0] != kindSyncRoot {
+		return 0, id.ID{}, id.ID{}, store.Digest{}, false
+	}
+	v, n := binary.Uvarint(buf[1:])
+	rest := buf[1+max(n, 0):]
+	if n <= 0 || len(rest) != 32+store.DigestLen {
+		return 0, id.ID{}, id.ID{}, store.Digest{}, false
+	}
+	lo = id.FromBytes(rest[0:16])
+	hi = id.FromBytes(rest[16:32])
+	copy(root[:], rest[32:])
+	return v, lo, hi, root, true
+}
+
+// kindSyncRootOK: sid uvarint. The responder's arc digest matched.
+func encodeSyncRootOK(sid uint64) []byte {
+	buf := append(make([]byte, 0, 16), kindSyncRootOK)
+	return binary.AppendUvarint(buf, sid)
+}
+
+func decodeSyncRootOK(buf []byte) (uint64, bool) {
+	return decodeAck(kindSyncRootOK, buf)
+}
+
+// kindSyncBuckets: sid uvarint | RangeBuckets × 16-byte bucket digests.
+func encodeSyncBuckets(sid uint64, buckets *[store.RangeBuckets]store.Digest) []byte {
+	buf := append(make([]byte, 0, 16+store.RangeBuckets*store.DigestLen), kindSyncBuckets)
+	buf = binary.AppendUvarint(buf, sid)
+	for i := range buckets {
+		buf = append(buf, buckets[i][:]...)
+	}
+	return buf
+}
+
+func decodeSyncBuckets(buf []byte) (sid uint64, buckets [store.RangeBuckets]store.Digest, ok bool) {
+	if len(buf) < 2 || buf[0] != kindSyncBuckets {
+		return 0, buckets, false
+	}
+	v, n := binary.Uvarint(buf[1:])
+	rest := buf[1+max(n, 0):]
+	if n <= 0 || len(rest) != store.RangeBuckets*store.DigestLen {
+		return 0, buckets, false
+	}
+	for i := range buckets {
+		copy(buckets[i][:], rest[i*store.DigestLen:])
+	}
+	return v, buckets, true
+}
+
+// kindSyncKeys: lo 16 | hi 16 | bucket bitmap u64 BE | count uvarint |
+// count × summary. Carries the initiator's per-key summaries for the
+// divergent buckets. It repeats the arc and bucket set instead of the sid
+// so the responder needs no round state to answer.
+func encodeSyncKeys(lo, hi id.ID, bitmap uint64, sums []store.Summary) []byte {
+	buf := append(make([]byte, 0, 48+len(sums)*56), kindSyncKeys)
+	buf = append(buf, lo.Bytes()...)
+	buf = append(buf, hi.Bytes()...)
+	buf = binary.BigEndian.AppendUint64(buf, bitmap)
+	buf = binary.AppendUvarint(buf, uint64(len(sums)))
+	for _, sum := range sums {
+		buf = appendSummary(buf, sum)
+	}
+	return buf
+}
+
+func decodeSyncKeys(buf []byte) (lo, hi id.ID, bitmap uint64, sums []store.Summary, ok bool) {
+	if len(buf) < 42 || buf[0] != kindSyncKeys {
+		return id.ID{}, id.ID{}, 0, nil, false
+	}
+	lo = id.FromBytes(buf[1:17])
+	hi = id.FromBytes(buf[17:33])
+	bitmap = binary.BigEndian.Uint64(buf[33:41])
+	rest := buf[41:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 || count > uint64(len(rest)) { // each summary is ≥ 35 bytes
+		return id.ID{}, id.ID{}, 0, nil, false
+	}
+	rest = rest[n:]
+	sums = make([]store.Summary, 0, count)
+	for i := uint64(0); i < count; i++ {
+		sum, tail, ok2 := cutSummary(rest)
+		if !ok2 {
+			return id.ID{}, id.ID{}, 0, nil, false
+		}
+		sums = append(sums, sum)
+		rest = tail
+	}
+	if len(rest) != 0 {
+		return id.ID{}, id.ID{}, 0, nil, false
+	}
+	return lo, hi, bitmap, sums, true
+}
+
+// kindSyncPull: count uvarint | count × 16-byte keys the responder wants.
+func encodeSyncPull(keys []id.ID) []byte {
+	buf := append(make([]byte, 0, 16+len(keys)*16), kindSyncPull)
+	buf = binary.AppendUvarint(buf, uint64(len(keys)))
+	for _, k := range keys {
+		buf = append(buf, k.Bytes()...)
+	}
+	return buf
+}
+
+func decodeSyncPull(buf []byte) ([]id.ID, bool) {
+	if len(buf) < 2 || buf[0] != kindSyncPull {
+		return nil, false
+	}
+	count, n := binary.Uvarint(buf[1:])
+	rest := buf[1+max(n, 0):]
+	if n <= 0 || uint64(len(rest)) != count*16 || count > uint64(len(rest)) {
+		return nil, false
+	}
+	keys := make([]id.ID, 0, count)
+	for i := uint64(0); i < count; i++ {
+		keys = append(keys, id.FromBytes(rest[i*16:i*16+16]))
+	}
+	return keys, true
+}
+
+// --- Handoff messages ---
+
+// kindHandoffOffer: one summary — the object a foreign node wants to shed.
+func encodeHandoffOffer(sum store.Summary) []byte {
+	return appendSummary(append(make([]byte, 0, 64), kindHandoffOffer), sum)
+}
+
+func decodeHandoffOffer(buf []byte) (store.Summary, bool) {
+	if len(buf) < 2 || buf[0] != kindHandoffOffer {
+		return store.Summary{}, false
+	}
+	sum, rest, ok := cutSummary(buf[1:])
+	if !ok || len(rest) != 0 {
+		return store.Summary{}, false
+	}
+	return sum, true
+}
+
+// kindHandoffWant / kindHandoffHave: the bare 16-byte key.
+func encodeHandoffKey(kind byte, key id.ID) []byte {
+	return append(append(make([]byte, 0, 17), kind), key.Bytes()...)
+}
+
+func decodeHandoffKey(kind byte, buf []byte) (id.ID, bool) {
+	if len(buf) != 17 || buf[0] != kind {
+		return id.ID{}, false
+	}
+	return id.FromBytes(buf[1:17]), true
+}
+
+// --- Key summary entries ---
+
+// Summary wire layout: key 16 | flags 1 | version uvarint | origin uvarint
+// | digest 16.
+func appendSummary(dst []byte, sum store.Summary) []byte {
+	dst = append(dst, sum.Key.Bytes()...)
+	flags := byte(0)
+	if sum.Tombstone {
+		flags = 1
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, sum.Version)
+	dst = binary.AppendUvarint(dst, sum.Origin)
+	return append(dst, sum.Dig[:]...)
+}
+
+// cutSummary parses one summary off the front of buf and returns the tail.
+func cutSummary(buf []byte) (store.Summary, []byte, bool) {
+	if len(buf) < 17 || buf[16]&^1 != 0 {
+		return store.Summary{}, nil, false
+	}
+	sum := store.Summary{Key: id.FromBytes(buf[0:16]), Tombstone: buf[16] == 1}
+	rest := buf[17:]
+	v, n := binary.Uvarint(rest)
+	if n <= 0 || v == 0 { // summaries describe written objects; version ≥ 1
+		return store.Summary{}, nil, false
+	}
+	sum.Version = v
+	rest = rest[n:]
+	v, n = binary.Uvarint(rest)
+	if n <= 0 {
+		return store.Summary{}, nil, false
+	}
+	sum.Origin = v
+	rest = rest[n:]
+	if len(rest) < store.DigestLen {
+		return store.Summary{}, nil, false
+	}
+	copy(sum.Dig[:], rest[:store.DigestLen])
+	return sum, rest[store.DigestLen:], true
+}

@@ -4,20 +4,29 @@
 // the k-1 nodes closest to the key; replication is maintained as soft
 // state against churn, so objects survive root failures.
 //
+// Objects are versioned (see package store): the root assigns a per-key
+// monotonic version to every write, deletes are tombstones that propagate
+// like writes, and replicas merge under a total order, so the replica set
+// converges regardless of message ordering. Replication maintenance is
+// Merkle anti-entropy: each sweep the responsible nodes exchange range
+// digests with their replica neighbours and transfer only the keys that
+// actually diverge, instead of re-pushing every value every sweep.
+//
 // The store demonstrates the paper's remark that "applications that
 // require guaranteed delivery can use end-to-end acks and
-// retransmissions": every Put and Get is acknowledged end-to-end by the
-// responsible node and retried by the requester until it succeeds or the
-// retry budget is exhausted.
+// retransmissions": every Put, Get and Delete is acknowledged end-to-end
+// by the responsible node and retried by the requester until it succeeds
+// or the retry budget is exhausted.
 package dht
 
 import (
-	"encoding/binary"
 	"errors"
+	"sort"
 	"time"
 
 	"mspastry/internal/id"
 	"mspastry/internal/pastry"
+	"mspastry/internal/store"
 )
 
 // Config tunes the store.
@@ -26,15 +35,23 @@ type Config struct {
 	// (the root plus k-1 leaf-set neighbours).
 	ReplicationFactor int
 	// SweepInterval is how often each node re-checks responsibility for
-	// its stored objects and re-pushes replicas.
+	// its stored objects and reconciles replicas.
 	SweepInterval time.Duration
-	// RequestTimeout is the end-to-end ack timeout for Put/Get.
+	// RequestTimeout is the end-to-end ack timeout for Put/Get/Delete.
 	RequestTimeout time.Duration
 	// MaxRetries bounds end-to-end retransmissions.
 	MaxRetries int
+	// Backend supplies object storage. nil means a fresh in-memory
+	// backend; live nodes pass a disk-backed store to survive restarts.
+	Backend store.Backend
+	// FullPushSweep reverts sweeps to unconditional full-value replica
+	// pushes instead of Merkle anti-entropy. Kept as the bandwidth
+	// baseline for experiments; production should leave it off.
+	FullPushSweep bool
 }
 
-// DefaultConfig returns k=3 replication with 30-second sweeps.
+// DefaultConfig returns k=3 replication with 30-second anti-entropy
+// sweeps.
 func DefaultConfig() Config {
 	return Config{
 		ReplicationFactor: 3,
@@ -53,42 +70,63 @@ var ErrNotFound = errors.New("dht: key not found")
 // Store is one DHT node. It implements pastry.App; all methods must run in
 // the node's Env context.
 type Store struct {
-	node *pastry.Node
-	env  pastry.Env
-	cfg  Config
-
-	objects map[id.ID][]byte
+	node    *pastry.Node
+	env     pastry.Env
+	cfg     Config
+	backend store.Backend
+	// origin stamps this node's identity into the versions it assigns.
+	origin uint64
 
 	nextReq uint64
 	pending map[uint64]*pendingOp
+
+	nextSync   uint64
+	syncRounds map[uint64]*syncRound
 
 	counters Counters
 }
 
 // Counters tallies the store's activity and outcomes for telemetry.
 type Counters struct {
-	// Puts and Gets count operations started; the outcome fields count
-	// how they finished.
-	Puts, Gets                  uint64
+	// Puts, Gets and Deletes count operations started; the outcome fields
+	// count how they finished.
+	Puts, Gets, Deletes         uint64
 	PutOK, PutFail              uint64
 	GetOK, GetNotFound, GetFail uint64
+	DeleteOK, DeleteFail        uint64
 	Retries                     uint64
-	ReplicasPushed              uint64
+	// ReplicasPushed counts full-value pushes (write-time replication,
+	// full-push sweeps, accepted handoffs); ReplicasApplied counts
+	// incoming values that actually changed local state.
+	ReplicasPushed, ReplicasApplied uint64
 	// Sweeps counts replica responsibility sweeps; SweepHandoffs counts
-	// objects handed to the current root and dropped by a sweep.
+	// objects dropped after handing responsibility to the current root.
 	Sweeps, SweepHandoffs uint64
+	// HandoffOffers counts digest-first handoff offers sent.
+	HandoffOffers uint64
+	// SyncRounds counts anti-entropy exchanges started; SyncClean counts
+	// rounds where the root digests matched (no transfer at all);
+	// SyncKeysRepaired counts divergent objects sent as repairs.
+	SyncRounds, SyncClean, SyncKeysRepaired uint64
+	// DigestBytes is the wire volume of sync/handoff control traffic
+	// (digests, summaries, pulls); MaintBytes is all maintenance bytes
+	// sent by sweeps — control plus repair values — and is the number the
+	// anti-entropy experiment compares across modes.
+	DigestBytes, MaintBytes uint64
 }
 
 // Counters returns a snapshot of the store's tallies.
 func (s *Store) Counters() Counters { return s.counters }
 
+// pendingOp is one in-flight client operation; kind is the request's wire
+// kind (kindPut, kindGet or kindDelete).
 type pendingOp struct {
+	kind    byte
 	key     id.ID
-	isPut   bool
 	value   []byte
 	retries int
 	timer   pastry.Timer
-	donePut func(error)
+	doneErr func(error)
 	doneGet func([]byte, error)
 }
 
@@ -98,12 +136,18 @@ func New(node *pastry.Node, env pastry.Env, cfg Config) *Store {
 	if cfg.ReplicationFactor < 1 {
 		cfg.ReplicationFactor = 1
 	}
+	backend := cfg.Backend
+	if backend == nil {
+		backend = store.NewMemory()
+	}
 	s := &Store{
-		node:    node,
-		env:     env,
-		cfg:     cfg,
-		objects: make(map[id.ID][]byte),
-		pending: make(map[uint64]*pendingOp),
+		node:       node,
+		env:        env,
+		cfg:        cfg,
+		backend:    backend,
+		origin:     node.Ref().ID.Hi,
+		pending:    make(map[uint64]*pendingOp),
+		syncRounds: make(map[uint64]*syncRound),
 	}
 	node.SetApp(s)
 	s.armSweep()
@@ -113,13 +157,25 @@ func New(node *pastry.Node, env pastry.Env, cfg Config) *Store {
 // Node returns the underlying overlay node.
 func (s *Store) Node() *pastry.Node { return s.node }
 
-// LocalObjects returns how many objects this node currently stores.
-func (s *Store) LocalObjects() int { return len(s.objects) }
+// Backend exposes the object storage, for status reporting and for tests
+// that need to diverge replica state directly. Callers must respect the
+// store's execution context.
+func (s *Store) Backend() store.Backend { return s.backend }
 
-// HasLocal reports whether the node holds a replica of key.
+// StoreStats returns the backend's storage statistics.
+func (s *Store) StoreStats() store.Stats { return s.backend.Stats() }
+
+// Close releases the backend (flushing a disk-backed WAL). Call on process
+// shutdown; the overlay node is stopped separately.
+func (s *Store) Close() error { return s.backend.Close() }
+
+// LocalObjects returns how many live objects this node currently stores.
+func (s *Store) LocalObjects() int { return s.backend.Len() }
+
+// HasLocal reports whether the node holds a live replica of key.
 func (s *Store) HasLocal(key id.ID) bool {
-	_, ok := s.objects[key]
-	return ok
+	o, ok := s.backend.Get(key)
+	return ok && !o.Tombstone
 }
 
 // Put stores value under key with end-to-end acknowledgement; done is
@@ -127,7 +183,7 @@ func (s *Store) HasLocal(key id.ID) bool {
 func (s *Store) Put(key id.ID, value []byte, done func(error)) {
 	s.counters.Puts++
 	s.nextReq++
-	op := &pendingOp{key: key, isPut: true, value: value, donePut: done}
+	op := &pendingOp{kind: kindPut, key: key, value: value, doneErr: done}
 	s.pending[s.nextReq] = op
 	s.sendOp(s.nextReq, op)
 }
@@ -137,17 +193,32 @@ func (s *Store) Put(key id.ID, value []byte, done func(error)) {
 func (s *Store) Get(key id.ID, done func([]byte, error)) {
 	s.counters.Gets++
 	s.nextReq++
-	op := &pendingOp{key: key, doneGet: done}
+	op := &pendingOp{kind: kindGet, key: key, doneGet: done}
+	s.pending[s.nextReq] = op
+	s.sendOp(s.nextReq, op)
+}
+
+// Delete removes key with end-to-end acknowledgement; done is called
+// exactly once. The root writes a tombstone that replicates like any
+// other write, so the deletion propagates instead of being resurrected by
+// stale replicas.
+func (s *Store) Delete(key id.ID, done func(error)) {
+	s.counters.Deletes++
+	s.nextReq++
+	op := &pendingOp{kind: kindDelete, key: key, doneErr: done}
 	s.pending[s.nextReq] = op
 	s.sendOp(s.nextReq, op)
 }
 
 func (s *Store) sendOp(reqID uint64, op *pendingOp) {
 	var payload []byte
-	if op.isPut {
+	switch op.kind {
+	case kindPut:
 		payload = encodePut(reqID, op.value)
-	} else {
+	case kindGet:
 		payload = encodeGet(reqID)
+	case kindDelete:
+		payload = encodeDelete(reqID)
 	}
 	if _, ok := s.node.Lookup(op.key, payload); !ok {
 		s.finish(reqID, nil, errors.New("dht: node is down"))
@@ -179,28 +250,36 @@ func (s *Store) finish(reqID uint64, value []byte, err error) {
 	if op.timer != nil {
 		op.timer.Cancel()
 	}
-	if op.isPut {
+	switch op.kind {
+	case kindPut:
 		if err != nil {
 			s.counters.PutFail++
 		} else {
 			s.counters.PutOK++
 		}
-		op.donePut(err)
-		return
+		op.doneErr(err)
+	case kindDelete:
+		if err != nil {
+			s.counters.DeleteFail++
+		} else {
+			s.counters.DeleteOK++
+		}
+		op.doneErr(err)
+	case kindGet:
+		switch {
+		case err == nil:
+			s.counters.GetOK++
+		case errors.Is(err, ErrNotFound):
+			s.counters.GetNotFound++
+		default:
+			s.counters.GetFail++
+		}
+		op.doneGet(value, err)
 	}
-	switch {
-	case err == nil:
-		s.counters.GetOK++
-	case errors.Is(err, ErrNotFound):
-		s.counters.GetNotFound++
-	default:
-		s.counters.GetFail++
-	}
-	op.doneGet(value, err)
 }
 
 // Deliver implements pastry.App: the node is the root for the requested
-// key.
+// key and assigns versions.
 func (s *Store) Deliver(lk *pastry.Lookup) {
 	kind, reqID, value, ok := decodeRequest(lk.Payload)
 	if !ok {
@@ -208,16 +287,36 @@ func (s *Store) Deliver(lk *pastry.Lookup) {
 	}
 	switch kind {
 	case kindPut:
-		s.objects[lk.Key] = value
-		s.replicate(lk.Key, value)
-		s.reply(lk.Origin, reqID, encodePutAck(reqID))
+		cur, _ := s.backend.Get(lk.Key)
+		obj := store.Object{Key: lk.Key, Version: cur.Version + 1,
+			Origin: s.origin, Value: value}
+		if _, err := s.backend.Apply(obj); err != nil {
+			return // durable write failed: no ack, the client retries
+		}
+		s.replicate(obj)
+		s.reply(lk.Origin, encodePutAck(reqID))
+	case kindDelete:
+		// Write the tombstone even for a key we have never seen: a replica
+		// may still hold a value the root lost, and the tombstone stops
+		// anti-entropy from resurrecting it.
+		cur, _ := s.backend.Get(lk.Key)
+		if !cur.Tombstone {
+			tomb := store.Object{Key: lk.Key, Version: cur.Version + 1,
+				Origin: s.origin, Tombstone: true}
+			if _, err := s.backend.Apply(tomb); err != nil {
+				return
+			}
+			s.replicate(tomb)
+		}
+		s.reply(lk.Origin, encodeDeleteAck(reqID))
 	case kindGet:
-		stored, found := s.objects[lk.Key]
-		s.reply(lk.Origin, reqID, encodeGetResp(reqID, found, stored))
+		o, found := s.backend.Get(lk.Key)
+		found = found && !o.Tombstone
+		s.reply(lk.Origin, encodeGetResp(reqID, found, o.Value))
 	}
 }
 
-func (s *Store) reply(to pastry.NodeRef, reqID uint64, payload []byte) {
+func (s *Store) reply(to pastry.NodeRef, payload []byte) {
 	if to.ID == s.node.Ref().ID {
 		s.handleResponse(payload)
 		return
@@ -228,26 +327,48 @@ func (s *Store) reply(to pastry.NodeRef, reqID uint64, payload []byte) {
 // Forward implements pastry.App: the store does not intercept routing.
 func (s *Store) Forward(*pastry.Lookup) bool { return true }
 
-// Direct implements pastry.App: end-to-end responses and replica pushes.
+// Direct implements pastry.App: end-to-end responses, replica pushes, and
+// the anti-entropy/handoff protocol.
 func (s *Store) Direct(from pastry.NodeRef, payload []byte) {
 	if len(payload) == 0 {
 		return
 	}
-	if payload[0] == kindReplicate {
-		key, value, ok := decodeReplicate(payload)
-		if ok {
-			s.objects[key] = value
+	switch payload[0] {
+	case kindReplicate:
+		if o, ok := decodeReplicate(payload); ok {
+			if applied, _ := s.backend.Apply(o); applied {
+				s.counters.ReplicasApplied++
+			}
 		}
-		return
+	case kindSyncRoot:
+		s.onSyncRoot(from, payload)
+	case kindSyncRootOK:
+		s.onSyncRootOK(payload)
+	case kindSyncBuckets:
+		s.onSyncBuckets(payload)
+	case kindSyncKeys:
+		s.onSyncKeys(from, payload)
+	case kindSyncPull:
+		s.onSyncPull(from, payload)
+	case kindHandoffOffer:
+		s.onHandoffOffer(from, payload)
+	case kindHandoffWant:
+		s.onHandoffWant(from, payload)
+	case kindHandoffHave:
+		s.onHandoffHave(payload)
+	default:
+		s.handleResponse(payload)
 	}
-	s.handleResponse(payload)
 }
 
 func (s *Store) handleResponse(payload []byte) {
 	switch payload[0] {
 	case kindPutAck:
-		reqID, ok := decodePutAck(payload)
-		if ok {
+		if reqID, ok := decodePutAck(payload); ok {
+			s.finish(reqID, nil, nil)
+		}
+	case kindDeleteAck:
+		if reqID, ok := decodeDeleteAck(payload); ok {
 			s.finish(reqID, nil, nil)
 		}
 	case kindGetResp:
@@ -263,11 +384,13 @@ func (s *Store) handleResponse(payload []byte) {
 	}
 }
 
-// replicate pushes an object to the k-1 leaf-set members closest to key.
-func (s *Store) replicate(key id.ID, value []byte) {
-	for _, m := range s.replicaTargets(key) {
+// replicate pushes an object to the k-1 leaf-set members closest to its
+// key (write-time replication; not charged as maintenance traffic).
+func (s *Store) replicate(o store.Object) {
+	payload := encodeReplicate(o)
+	for _, m := range s.replicaTargets(o.Key) {
 		s.counters.ReplicasPushed++
-		s.node.SendDirect(m, encodeReplicate(key, value))
+		s.node.SendDirect(m, payload)
 	}
 }
 
@@ -302,31 +425,70 @@ func (s *Store) armSweep() {
 	})
 }
 
-// sweep re-establishes the replication invariant after churn: if this node
-// believes it is the root of a stored key, it re-pushes replicas (new
-// neighbours may have joined); if it is no longer among the responsible
-// nodes, it drops the object (with hysteresis: 2k closest).
+// sweep re-establishes the replication invariant after churn. For every
+// stored key the node ranks itself against its leaf set: within the
+// replica set (rank < k) it reconciles with the other replicas — by
+// Merkle anti-entropy normally, or by unconditional re-push in
+// FullPushSweep mode (roots only, the pre-anti-entropy behaviour); far
+// outside it (rank ≥ 2k, with hysteresis) it offers the object to the
+// current root and drops its copy once answered.
 func (s *Store) sweep() {
 	if !s.node.Active() {
 		return
 	}
 	s.counters.Sweeps++
 	members := s.node.Leaf().Members()
-	for key, value := range s.objects {
-		rank := s.rankForKey(key, members)
+	k := s.cfg.ReplicationFactor
+
+	// Collect first: handoffs mutate the backend, and Range must not
+	// observe mutation.
+	type ranked struct {
+		obj  store.Object
+		rank int
+	}
+	var local []ranked
+	s.backend.Range(func(o store.Object) bool {
+		local = append(local, ranked{o, s.rankForKey(o.Key, members)})
+		return true
+	})
+	// Stable order keeps simulated runs reproducible for a given seed.
+	sort.Slice(local, func(i, j int) bool { return local[i].obj.Key.Less(local[j].obj.Key) })
+
+	groups := make(map[string][]id.ID) // replica addr → keys shared with it
+	targets := make(map[string]pastry.NodeRef)
+	for _, ro := range local {
 		switch {
-		case rank == 0:
-			// We are the root (in our view): ensure replicas exist.
-			s.replicate(key, value)
-		case rank >= 2*s.cfg.ReplicationFactor:
-			// Far outside the responsible set: hand the object to the
-			// current root (in case it never saw it) and drop it.
-			if root, ok := s.closestMember(key, members); ok {
-				s.node.SendDirect(root, encodeReplicate(key, value))
+		case ro.rank >= 2*k:
+			s.offerHandoff(ro.obj, members)
+		case s.cfg.FullPushSweep:
+			if ro.rank == 0 {
+				s.pushFull(ro.obj)
 			}
-			s.counters.SweepHandoffs++
-			delete(s.objects, key)
+		case ro.rank < k:
+			for _, m := range s.replicaTargets(ro.obj.Key) {
+				groups[m.Addr] = append(groups[m.Addr], ro.obj.Key)
+				targets[m.Addr] = m
+			}
 		}
+	}
+	addrs := make([]string, 0, len(groups))
+	for addr := range groups {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	for _, addr := range addrs {
+		s.startSync(targets[addr], groups[addr])
+	}
+}
+
+// pushFull is the FullPushSweep baseline: re-send the whole value to every
+// replica target, divergent or not.
+func (s *Store) pushFull(o store.Object) {
+	payload := encodeReplicate(o)
+	for _, m := range s.replicaTargets(o.Key) {
+		s.counters.ReplicasPushed++
+		s.counters.MaintBytes += uint64(len(payload))
+		s.node.SendDirect(m, payload)
 	}
 }
 
@@ -353,84 +515,4 @@ func (s *Store) closestMember(key id.ID, members []pastry.NodeRef) (pastry.NodeR
 		}
 	}
 	return best, true
-}
-
-// Wire formats: 1-byte kind, then fields.
-const (
-	kindPut byte = iota + 1
-	kindGet
-	kindPutAck
-	kindGetResp
-	kindReplicate
-)
-
-func encodePut(reqID uint64, value []byte) []byte {
-	buf := append(make([]byte, 0, 16+len(value)), kindPut)
-	buf = binary.AppendUvarint(buf, reqID)
-	return append(buf, value...)
-}
-
-func encodeGet(reqID uint64) []byte {
-	buf := append(make([]byte, 0, 16), kindGet)
-	return binary.AppendUvarint(buf, reqID)
-}
-
-func decodeRequest(buf []byte) (kind byte, reqID uint64, value []byte, ok bool) {
-	if len(buf) < 2 || (buf[0] != kindPut && buf[0] != kindGet) {
-		return 0, 0, nil, false
-	}
-	v, n := binary.Uvarint(buf[1:])
-	if n <= 0 {
-		return 0, 0, nil, false
-	}
-	return buf[0], v, buf[1+n:], true
-}
-
-func encodePutAck(reqID uint64) []byte {
-	buf := append(make([]byte, 0, 16), kindPutAck)
-	return binary.AppendUvarint(buf, reqID)
-}
-
-func decodePutAck(buf []byte) (uint64, bool) {
-	if len(buf) < 2 || buf[0] != kindPutAck {
-		return 0, false
-	}
-	v, n := binary.Uvarint(buf[1:])
-	return v, n > 0
-}
-
-func encodeGetResp(reqID uint64, found bool, value []byte) []byte {
-	buf := append(make([]byte, 0, 16+len(value)), kindGetResp)
-	if found {
-		buf = append(buf, 1)
-	} else {
-		buf = append(buf, 0)
-	}
-	buf = binary.AppendUvarint(buf, reqID)
-	return append(buf, value...)
-}
-
-func decodeGetResp(buf []byte) (reqID uint64, found bool, value []byte, ok bool) {
-	if len(buf) < 3 || buf[0] != kindGetResp {
-		return 0, false, nil, false
-	}
-	found = buf[1] != 0
-	v, n := binary.Uvarint(buf[2:])
-	if n <= 0 {
-		return 0, false, nil, false
-	}
-	return v, found, buf[2+n:], true
-}
-
-func encodeReplicate(key id.ID, value []byte) []byte {
-	buf := append(make([]byte, 0, 32+len(value)), kindReplicate)
-	buf = append(buf, key.Bytes()...)
-	return append(buf, value...)
-}
-
-func decodeReplicate(buf []byte) (key id.ID, value []byte, ok bool) {
-	if len(buf) < 17 || buf[0] != kindReplicate {
-		return id.ID{}, nil, false
-	}
-	return id.FromBytes(buf[1:17]), buf[17:], true
 }

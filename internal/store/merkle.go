@@ -1,0 +1,115 @@
+package store
+
+import (
+	"crypto/sha256"
+
+	"mspastry/internal/id"
+)
+
+// Anti-entropy compares replica state cheapest-first: an 16-byte range
+// root, then — only on mismatch — one digest per bucket, then — only for
+// divergent buckets — per-key summaries, and values move last, one per
+// truly divergent key. RangeDigest is that two-level Merkle tree over the
+// objects whose keys fall on a clockwise ring arc.
+
+// RangeBuckets is the fan-out of the bucket layer. Keys map to buckets by
+// the low 6 bits of their Lo word: bucket membership is global, so both
+// replicas agree on it without coordination, and — because an arc is a
+// narrow slice of the ring whose keys share their *high* bits — low-bit
+// bucketing spreads an arc's keys uniformly across all buckets instead of
+// piling them into one. A single divergent key then dirties a bucket
+// holding ~1/64th of the arc, keeping the per-key summary exchange small.
+const RangeBuckets = 64
+
+// BucketOf returns the bucket index of a key (low 6 bits of its Lo word).
+func BucketOf(key id.ID) int { return int(key.Lo & (RangeBuckets - 1)) }
+
+// RangeDigest summarises the objects of one backend within the clockwise
+// arc [Lo, Hi] (inclusive). Each bucket digest is the XOR of its member
+// objects' digests — order-independent, so replicas need not iterate in
+// the same order — and Root hashes the arc bounds plus the bucket layer.
+type RangeDigest struct {
+	Lo, Hi  id.ID
+	Buckets [RangeBuckets]Digest
+}
+
+// SummarizeRange builds the digest of b's objects (tombstones included)
+// on the arc [lo, hi].
+func SummarizeRange(b Backend, lo, hi id.ID) RangeDigest {
+	rd := RangeDigest{Lo: lo, Hi: hi}
+	b.Range(func(o Object) bool {
+		if id.InRangeCW(lo, hi, o.Key) {
+			rd.add(o)
+		}
+		return true
+	})
+	return rd
+}
+
+func (rd *RangeDigest) add(o Object) {
+	d := o.Digest()
+	bkt := &rd.Buckets[BucketOf(o.Key)]
+	for i := range bkt {
+		bkt[i] ^= d[i]
+	}
+}
+
+// Root hashes the arc bounds and every bucket digest into the single
+// comparison value exchanged first.
+func (rd *RangeDigest) Root() Digest {
+	h := sha256.New()
+	h.Write(rd.Lo.Bytes())
+	h.Write(rd.Hi.Bytes())
+	for i := range rd.Buckets {
+		h.Write(rd.Buckets[i][:])
+	}
+	var d Digest
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// DiffBuckets lists the bucket indices where rd and other disagree.
+func (rd *RangeDigest) DiffBuckets(other *RangeDigest) []int {
+	var diff []int
+	for i := range rd.Buckets {
+		if rd.Buckets[i] != other.Buckets[i] {
+			diff = append(diff, i)
+		}
+	}
+	return diff
+}
+
+// MinimalArc returns the smallest clockwise arc [lo, hi] covering every
+// key in keys: sort the ring positions, find the largest clockwise gap
+// between cyclically consecutive keys, and span everything else. The
+// result is exact for any key set; ok is false for an empty set.
+func MinimalArc(keys []id.ID) (lo, hi id.ID, ok bool) {
+	switch len(keys) {
+	case 0:
+		return id.ID{}, id.ID{}, false
+	case 1:
+		return keys[0], keys[0], true
+	}
+	sorted := append([]id.ID(nil), keys...)
+	// Insertion sort by absolute ring position; key sets are per-neighbour
+	// responsibility groups, small by construction.
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].Less(sorted[j-1]); j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	// The largest clockwise gap from sorted[i] to its cyclic successor is
+	// the span the arc must exclude.
+	bestGap := sorted[len(sorted)-1].Clockwise(sorted[0])
+	bestIdx := len(sorted) - 1
+	for i := 0; i < len(sorted)-1; i++ {
+		gap := sorted[i].Clockwise(sorted[i+1])
+		if bestGap.Less(gap) {
+			bestGap = gap
+			bestIdx = i
+		}
+	}
+	hi = sorted[bestIdx]
+	lo = sorted[(bestIdx+1)%len(sorted)]
+	return lo, hi, true
+}

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"mspastry/internal/dht"
 	"mspastry/internal/pastry"
+	"mspastry/internal/store"
 )
 
 // TransportMetrics records packet-level transport activity. It satisfies
@@ -67,9 +68,33 @@ func RecordDHTCounters(reg *Registry, c dht.Counters, localObjects int) {
 	set("mspastry_dht_get_ok", "DHT gets that returned a value.", float64(c.GetOK))
 	set("mspastry_dht_get_notfound", "DHT gets for absent keys.", float64(c.GetNotFound))
 	set("mspastry_dht_get_failures", "DHT gets that exhausted retries.", float64(c.GetFail))
+	set("mspastry_dht_deletes", "DHT delete operations started.", float64(c.Deletes))
+	set("mspastry_dht_delete_ok", "DHT deletes acknowledged end-to-end.", float64(c.DeleteOK))
+	set("mspastry_dht_delete_failures", "DHT deletes that exhausted retries.", float64(c.DeleteFail))
 	set("mspastry_dht_retries", "End-to-end request retransmissions.", float64(c.Retries))
-	set("mspastry_dht_replicas_pushed", "Replica pushes to leaf-set neighbours.", float64(c.ReplicasPushed))
+	set("mspastry_dht_replicas_pushed", "Full-value replica pushes to leaf-set neighbours.", float64(c.ReplicasPushed))
+	set("mspastry_dht_replicas_applied", "Incoming replica values that changed local state.", float64(c.ReplicasApplied))
 	set("mspastry_dht_sweeps", "Replica responsibility sweeps run.", float64(c.Sweeps))
 	set("mspastry_dht_sweep_handoffs", "Objects handed off and dropped by sweeps.", float64(c.SweepHandoffs))
+	set("mspastry_dht_sync_rounds", "Anti-entropy exchanges started.", float64(c.SyncRounds))
+	set("mspastry_dht_sync_clean", "Anti-entropy exchanges where root digests matched.", float64(c.SyncClean))
+	set("mspastry_dht_sync_keys_repaired", "Divergent objects sent as anti-entropy repairs.", float64(c.SyncKeysRepaired))
+	set("mspastry_dht_sync_digest_bytes", "Anti-entropy and handoff control bytes sent.", float64(c.DigestBytes))
+	set("mspastry_dht_maintenance_bytes", "All sweep maintenance bytes sent (control plus repair values).", float64(c.MaintBytes))
 	set("mspastry_dht_local_objects", "Objects currently stored on this node.", float64(localObjects))
+}
+
+// RecordStoreStats copies the object-store backend's state into the
+// registry (WAL and snapshot sizes, compactions, tombstones). Run it from
+// a Registry.OnCollect hook alongside RecordDHTCounters.
+func RecordStoreStats(reg *Registry, st store.Stats) {
+	set := func(name, help string, v float64) {
+		reg.Gauge(name, help).Set(v)
+	}
+	set("mspastry_store_objects", "Live objects in the backend.", float64(st.Objects))
+	set("mspastry_store_tombstones", "Tombstones retained for delete propagation.", float64(st.Tombstones))
+	set("mspastry_store_wal_bytes", "Write-ahead log size on disk (0 for the memory backend).", float64(st.WALBytes))
+	set("mspastry_store_snapshot_bytes", "Last snapshot size on disk.", float64(st.SnapshotBytes))
+	set("mspastry_store_compactions", "Snapshot compactions performed.", float64(st.Compactions))
+	set("mspastry_store_replayed_records", "Records replayed from disk at open.", float64(st.Replayed))
 }

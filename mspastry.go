@@ -41,6 +41,7 @@ import (
 	"mspastry/internal/splitstream"
 	"mspastry/internal/squirrel"
 	"mspastry/internal/stats"
+	"mspastry/internal/store"
 	"mspastry/internal/topology"
 	"mspastry/internal/trace"
 	"mspastry/internal/transport"
@@ -120,6 +121,15 @@ type (
 	DHTStore = dht.Store
 	// DHTConfig tunes replication and end-to-end retries.
 	DHTConfig = dht.Config
+	// StoreBackend is the object storage behind a DHT store: versioned
+	// objects with tombstones, in memory or on disk.
+	StoreBackend = store.Backend
+	// StoreObject is one versioned object held by a backend.
+	StoreObject = store.Object
+	// StoreStats reports a backend's object counts and disk usage.
+	StoreStats = store.Stats
+	// DiskStoreOptions tunes the durable backend's WAL and compaction.
+	DiskStoreOptions = store.DiskOptions
 	// SplitStreamChannel is a striped multicast subscription.
 	SplitStreamChannel = splitstream.Channel
 	// SplitStreamPublisher publishes striped messages.
@@ -248,13 +258,32 @@ func NewScribe(node *Node, env Env, cfg ScribeConfig) *ScribeEngine {
 // DefaultScribeConfig returns the default multicast soft-state timers.
 func DefaultScribeConfig() ScribeConfig { return scribe.DefaultConfig() }
 
+// ErrDHTNotFound reports a Get for a key no responsible node holds (or a
+// deleted key).
+var ErrDHTNotFound = dht.ErrNotFound
+
+// ErrDHTTimeout reports a DHT operation whose retries were exhausted.
+var ErrDHTTimeout = dht.ErrTimeout
+
 // NewDHT attaches a replicated key-value store to a node.
 func NewDHT(node *Node, env Env, cfg DHTConfig) *DHTStore {
 	return dht.New(node, env, cfg)
 }
 
-// DefaultDHTConfig returns k=3 replication with periodic sweeps.
+// DefaultDHTConfig returns k=3 replication with periodic anti-entropy
+// sweeps.
 func DefaultDHTConfig() DHTConfig { return dht.DefaultConfig() }
+
+// NewMemoryBackend returns an in-memory object store (the DHT default).
+func NewMemoryBackend() StoreBackend { return store.NewMemory() }
+
+// OpenDiskStore opens (or creates) a durable object store in dir: writes
+// land in a CRC-framed WAL before acknowledgement and the state is
+// snapshot-compacted, so a node restarted with the same directory keeps
+// its objects. Pass it via DHTConfig.Backend.
+func OpenDiskStore(dir string, opts DiskStoreOptions) (StoreBackend, error) {
+	return store.Open(dir, opts)
+}
 
 // JoinSplitStream subscribes a Scribe engine to all stripes of a striped
 // multicast channel.

@@ -32,7 +32,8 @@ sleep 600 > "$dir/b.in" &
 hold_b=$!
 hold_pid="$hold_a $hold_b"
 
-"$bin" -listen "$A_UDP" -admin "$A_ADMIN" -bootstrap < "$dir/a.in" > "$dir/a.log" 2>&1 &
+"$bin" -listen "$A_UDP" -admin "$A_ADMIN" -bootstrap -data-dir "$dir/a-data" \
+  < "$dir/a.in" > "$dir/a.log" 2>&1 &
 a_pid=$!
 
 wait_for() { # wait_for <file> <pattern> <what>
@@ -95,5 +96,29 @@ if kill -0 "$a_pid" 2>/dev/null || kill -0 "$b_pid" 2>/dev/null; then
   exit 1
 fi
 a_pid= b_pid=
+
+# Restart durability: node A ran with -data-dir, so the value B stored
+# (replicated to A at write time) must survive A's restart. Bring A back
+# alone on the same directory and read it from the recovered store.
+"$bin" -listen "$A_UDP" -admin "$A_ADMIN" -bootstrap -data-dir "$dir/a-data" \
+  < "$dir/a.in" > "$dir/a2.log" 2>&1 &
+a_pid=$!
+wait_for "$dir/a2.log" "bootstrapped a new overlay" "node A restart"
+grep -q "^recovered .* records" "$dir/a2.log" ||
+  { echo "smoke: restart did not replay the store" >&2; cat "$dir/a2.log" >&2; exit 1; }
+echo "get greeting" > "$dir/a.in"
+wait_for "$dir/a2.log" "hello" "durable DHT get after restart"
+echo "smoke: value survived node restart via -data-dir"
+
+echo "quit" > "$dir/a.in"
+for _ in $(seq 1 50); do
+  kill -0 "$a_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$a_pid" 2>/dev/null; then
+  echo "smoke: restarted node did not exit on quit" >&2
+  exit 1
+fi
+a_pid=
 
 echo "smoke: OK"
