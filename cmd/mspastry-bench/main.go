@@ -24,7 +24,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		which       = flag.String("experiment", "all", "experiment: all, fig3, topo, fig4, fig5, fig5join, fig6, fig7l, fig7b, ablation, selftune, suppression, heartbeat, consistency, massfailure, partitionheal, jitterfp, antientropy, fig8, fig8validate")
+		which       = flag.String("experiment", "all", "experiment: all, fig3, topo, fig4, fig5, fig5join, fig6, fig7l, fig7b, ablation, selftune, suppression, heartbeat, consistency, massfailure, partitionheal, jitterfp, antientropy, batching, fig8, fig8validate")
 		topoDiv     = flag.Int("topo-div", 8, "topology scale divisor (1 = paper size)")
 		traceDiv    = flag.Int("trace-div", 16, "trace population divisor (1 = paper size)")
 		maxDur      = flag.Duration("max-dur", 90*time.Minute, "cap on trace duration (0 = full traces; full Gnutella is 60h)")
@@ -34,6 +34,8 @@ func main() {
 		seed        = flag.Int64("seed", 1, "random seed")
 		partFor     = flag.Duration("partition-for", 90*time.Second, "partitionheal: partition duration")
 		fig8Days    = flag.Int("fig8-days", 6, "Squirrel replay length in days")
+		coWin       = flag.Duration("coalesce", 30*time.Millisecond, "batching: base coalescing window")
+		coLong      = flag.Duration("coalesce-long", 2500*time.Millisecond, "batching: delay-tolerant coalescing window (keep < probe timeout To)")
 		aeNodes     = flag.Int("ae-nodes", 100, "antientropy: cluster size")
 		aeObjects   = flag.Int("ae-objects", 1000, "antientropy: stored objects")
 		validateN   = flag.Int("validate-nodes", 8, "fig8validate: overlay size")
@@ -178,6 +180,19 @@ func main() {
 		fmt.Fprintln(out, "claim: sweeps cost one digest exchange per replica pair when converged,")
 		fmt.Fprintln(out, "full values move only for keys that actually diverged")
 	}
+	if run("batching") {
+		r := experiments.Batching(scale, *coWin, *coLong)
+		experiments.PrintRows(out,
+			fmt.Sprintf("wire coalescing A/B (Tls=%v, window=%v, long=%v)",
+				experiments.BatchingTls, r.Window, r.Long),
+			append(experiments.TotalsCols(), "datagrams", "ctrlDgrams", "ctrlBytes", "savedB"),
+			r.Rows())
+		fmt.Fprintf(out, "control datagrams reduced %.1f%% (bar: >= 25%%) with lookup success and hops unchanged\n",
+			r.ControlDatagramReduction()*100)
+		fmt.Fprintln(out, "claim: under aggressive failure detection, heartbeats to the ring")
+		fmt.Fprintln(out, "neighbour batch under the long window — the paper's suppression rule")
+		fmt.Fprintln(out, "extended to piggybacking — without touching routing behaviour")
+	}
 	if run("fig8") {
 		cfg := experiments.DefaultFig8Config()
 		cfg.Days = *fig8Days
@@ -219,7 +234,7 @@ func cdfRow(label string, r experiments.Fig5JoinCDF, session time.Duration) expe
 }
 
 func isKnown(name string) bool {
-	known := "all fig3 topo fig4 fig5 fig5join fig6 fig7l fig7b ablation selftune suppression heartbeat consistency massfailure partitionheal jitterfp antientropy fig8 fig8validate"
+	known := "all fig3 topo fig4 fig5 fig5join fig6 fig7l fig7b ablation selftune suppression heartbeat consistency massfailure partitionheal jitterfp antientropy batching fig8 fig8validate"
 	for _, k := range strings.Fields(known) {
 		if k == name {
 			return true

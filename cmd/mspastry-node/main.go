@@ -58,6 +58,8 @@ func main() {
 		seedID    = flag.String("seed-id", "", "seed node identifier (32 hex digits)")
 		nodeID    = flag.String("id", "", "this node's identifier (default: random)")
 		seed      = flag.Int64("seed", time.Now().UnixNano(), "random seed")
+		coalesce  = flag.Duration("coalesce", 2*time.Millisecond, "control-message coalescing window (0 = one message per datagram)")
+		coalesceL = flag.Duration("coalesce-long", 0, "extended coalescing window for delay-tolerant messages (heartbeats, gossip); keep below the probe timeout")
 		status    = flag.Duration("status", 0, "print a status line at this interval (0 = off)")
 		dataDir   = flag.String("data-dir", "", "directory for the durable object store (empty = in-memory)")
 	)
@@ -68,6 +70,8 @@ func main() {
 		log.Fatal(err)
 	}
 	defer tr.Close()
+	tr.SetCoalesceWindow(*coalesce)
+	tr.SetCoalesceLongWindow(*coalesceL)
 
 	// One registry backs every view of this node: the Prometheus endpoint,
 	// the JSON status and the stdout status command.
@@ -355,10 +359,12 @@ func printStatus(reg *telemetry.Registry, tr *transport.UDP, store *dht.Store, d
 	fmt.Printf("  lookups: issued=%.0f delivered=%.0f  acks=%.0f  retransmits=%.0f\n",
 		m["mspastry_lookups_issued_total"], m["mspastry_lookups_delivered_total"],
 		m["mspastry_ack_rtt_seconds:count"], m["mspastry_node_retransmits"])
-	fmt.Printf("  transport: sent=%.0f recv=%.0f bytes_out=%.0f bytes_in=%.0f\n",
-		sumByName(snap, "mspastry_transport_packets_sent_total"),
-		sumByName(snap, "mspastry_transport_packets_received_total"),
-		m["mspastry_transport_bytes_sent_total"], m["mspastry_transport_bytes_received_total"])
+	fmt.Printf("  transport: sent=%.0f recv=%.0f datagrams_out=%.0f bytes_out=%.0f bytes_in=%.0f saved=%.0f\n",
+		sumByName(snap, "mspastry_transport_msgs_sent_total"),
+		sumByName(snap, "mspastry_transport_msgs_received_total"),
+		m["mspastry_transport_datagrams_sent_total"],
+		m["mspastry_transport_bytes_sent_total"], m["mspastry_transport_bytes_received_total"],
+		m["mspastry_transport_coalesced_bytes_saved_total"])
 	fmt.Printf("  dht: puts=%.0f gets=%.0f dels=%.0f retries=%.0f replicas=%.0f syncs=%.0f repaired=%.0f\n",
 		m["mspastry_dht_puts"], m["mspastry_dht_gets"], m["mspastry_dht_deletes"],
 		m["mspastry_dht_retries"], m["mspastry_dht_replicas_pushed"],

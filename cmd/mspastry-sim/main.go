@@ -38,19 +38,21 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		topoName = flag.String("topo", "gatech", "topology: gatech, mercator, corpnet")
-		topoDiv  = flag.Int("topo-div", 8, "topology scale divisor (1 = paper size)")
-		traceSel = flag.String("trace", "gnutella", "churn trace: gnutella, overnet, microsoft, poisson")
-		traceDiv = flag.Int("trace-div", 16, "trace population divisor (1 = paper size)")
-		maxDur   = flag.Duration("max-dur", 2*time.Hour, "cap on trace duration (0 = full trace)")
-		session  = flag.Duration("session", 30*time.Minute, "poisson trace: mean session time")
-		nodes    = flag.Int("nodes", 500, "poisson trace: average active nodes")
-		duration = flag.Duration("duration", 2*time.Hour, "poisson trace: duration")
-		loss     = flag.Float64("loss", 0, "uniform network message loss rate [0,1)")
-		lookups  = flag.Float64("lookups", 0.01, "lookups per second per node")
-		window   = flag.Duration("window", 10*time.Minute, "metric averaging window")
-		ramp     = flag.Duration("ramp", 5*time.Minute, "setup ramp for the warm start")
-		seed     = flag.Int64("seed", 1, "random seed")
+		topoName  = flag.String("topo", "gatech", "topology: gatech, mercator, corpnet")
+		topoDiv   = flag.Int("topo-div", 8, "topology scale divisor (1 = paper size)")
+		traceSel  = flag.String("trace", "gnutella", "churn trace: gnutella, overnet, microsoft, poisson")
+		traceDiv  = flag.Int("trace-div", 16, "trace population divisor (1 = paper size)")
+		maxDur    = flag.Duration("max-dur", 2*time.Hour, "cap on trace duration (0 = full trace)")
+		session   = flag.Duration("session", 30*time.Minute, "poisson trace: mean session time")
+		nodes     = flag.Int("nodes", 500, "poisson trace: average active nodes")
+		duration  = flag.Duration("duration", 2*time.Hour, "poisson trace: duration")
+		loss      = flag.Float64("loss", 0, "uniform network message loss rate [0,1)")
+		coalesce  = flag.Duration("coalesce", 0, "control-message coalescing window (0 = one message per datagram)")
+		coalesceL = flag.Duration("coalesce-long", 0, "extended coalescing window for delay-tolerant messages (heartbeats, gossip); keep below the probe timeout")
+		lookups   = flag.Float64("lookups", 0.01, "lookups per second per node")
+		window    = flag.Duration("window", 10*time.Minute, "metric averaging window")
+		ramp      = flag.Duration("ramp", 5*time.Minute, "setup ramp for the warm start")
+		seed      = flag.Int64("seed", 1, "random seed")
 
 		b        = flag.Int("b", 4, "identifier digit bits")
 		l        = flag.Int("l", 32, "leaf set size")
@@ -121,6 +123,8 @@ func main() {
 	cfg := harness.DefaultConfig(topo, tr)
 	cfg.Pastry = pcfg
 	cfg.NetworkLoss = *loss
+	cfg.CoalesceWindow = *coalesce
+	cfg.CoalesceLongWindow = *coalesceL
 	cfg.LookupRate = *lookups
 	cfg.Window = *window
 	cfg.SetupRamp = *ramp
@@ -188,6 +192,9 @@ func main() {
 		fmt.Printf("  %s=%.4f", cat, t.ByCategory[cat])
 	}
 	fmt.Println()
+	fmt.Printf("wire: datagrams/n/s=%.4f control-datagrams/n/s=%.4f control-bytes/n/s=%.1f coalesced-saved=%dB\n",
+		t.DatagramsPerNodeSec, t.ControlDatagramsPerNodeSec,
+		t.ControlBytesPerNodeSec, t.CoalescedSavedBytes)
 	fmt.Printf("self-tuned Trt (median of live nodes): %v\n", res.TrtMedian.Round(time.Second))
 	fmt.Printf("joins=%d medianJoinLatency=%v retransmits=%d suppressedProbes=%d\n",
 		t.Joins, t.MedianJoinLatency.Round(time.Millisecond),

@@ -143,8 +143,9 @@ func TestTwoNodeOverlayAdmin(t *testing.T) {
 	for _, want := range []string{
 		"# TYPE mspastry_joins_total counter",
 		"mspastry_joins_total 1",
-		"# TYPE mspastry_transport_packets_sent_total counter",
-		"mspastry_transport_packets_sent_total{category=",
+		"# TYPE mspastry_transport_msgs_sent_total counter",
+		"mspastry_transport_msgs_sent_total{category=",
+		"mspastry_transport_datagrams_sent_total",
 		"mspastry_node_heartbeats_sent",
 		"mspastry_dht_sync_rounds",
 		"mspastry_store_objects",
@@ -153,8 +154,8 @@ func TestTwoNodeOverlayAdmin(t *testing.T) {
 			t.Errorf("/metrics missing %q", want)
 		}
 	}
-	if strings.Contains(metrics, "mspastry_transport_packets_sent_total{category=\"leafset\"} 0\n") {
-		t.Error("leafset packet counter is zero on an active node")
+	if strings.Contains(metrics, "mspastry_transport_msgs_sent_total{category=\"leafset\"} 0\n") {
+		t.Error("leafset message counter is zero on an active node")
 	}
 
 	code, status := get(t, base+"/status")

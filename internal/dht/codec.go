@@ -12,6 +12,11 @@ import (
 // with a direct ack; everything from kindReplicate down travels only on
 // direct links between replicas. All decoders are total: arbitrary bytes
 // either parse or return ok=false, never panic.
+//
+// Encoders come in two layers, mirroring pastry's AppendMessage: appendX
+// writes a message onto a caller-supplied buffer (callers with a scratch
+// buffer amortise allocation), and encodeX wraps it with a right-sized
+// fresh slice for callers that retain the payload.
 const (
 	kindPut byte = iota + 1
 	kindGet
@@ -39,20 +44,29 @@ const (
 
 // --- Client requests (lookup payloads) ---
 
+func appendPut(dst []byte, reqID uint64, value []byte) []byte {
+	dst = append(dst, kindPut)
+	dst = binary.AppendUvarint(dst, reqID)
+	return append(dst, value...)
+}
+
 func encodePut(reqID uint64, value []byte) []byte {
-	buf := append(make([]byte, 0, 16+len(value)), kindPut)
-	buf = binary.AppendUvarint(buf, reqID)
-	return append(buf, value...)
+	return appendPut(make([]byte, 0, 16+len(value)), reqID, value)
+}
+
+// appendReqID covers the kind-plus-request-id family: Get and Delete
+// requests and every end-to-end ack.
+func appendReqID(dst []byte, kind byte, reqID uint64) []byte {
+	dst = append(dst, kind)
+	return binary.AppendUvarint(dst, reqID)
 }
 
 func encodeGet(reqID uint64) []byte {
-	buf := append(make([]byte, 0, 16), kindGet)
-	return binary.AppendUvarint(buf, reqID)
+	return appendReqID(make([]byte, 0, 16), kindGet, reqID)
 }
 
 func encodeDelete(reqID uint64) []byte {
-	buf := append(make([]byte, 0, 16), kindDelete)
-	return binary.AppendUvarint(buf, reqID)
+	return appendReqID(make([]byte, 0, 16), kindDelete, reqID)
 }
 
 func decodeRequest(buf []byte) (kind byte, reqID uint64, value []byte, ok bool) {
@@ -73,8 +87,7 @@ func decodeRequest(buf []byte) (kind byte, reqID uint64, value []byte, ok bool) 
 // --- End-to-end acks ---
 
 func encodePutAck(reqID uint64) []byte {
-	buf := append(make([]byte, 0, 16), kindPutAck)
-	return binary.AppendUvarint(buf, reqID)
+	return appendReqID(make([]byte, 0, 16), kindPutAck, reqID)
 }
 
 func decodePutAck(buf []byte) (uint64, bool) {
@@ -82,8 +95,7 @@ func decodePutAck(buf []byte) (uint64, bool) {
 }
 
 func encodeDeleteAck(reqID uint64) []byte {
-	buf := append(make([]byte, 0, 16), kindDeleteAck)
-	return binary.AppendUvarint(buf, reqID)
+	return appendReqID(make([]byte, 0, 16), kindDeleteAck, reqID)
 }
 
 func decodeDeleteAck(buf []byte) (uint64, bool) {
@@ -98,15 +110,19 @@ func decodeAck(kind byte, buf []byte) (uint64, bool) {
 	return v, n > 0
 }
 
-func encodeGetResp(reqID uint64, found bool, value []byte) []byte {
-	buf := append(make([]byte, 0, 16+len(value)), kindGetResp)
+func appendGetResp(dst []byte, reqID uint64, found bool, value []byte) []byte {
+	dst = append(dst, kindGetResp)
 	if found {
-		buf = append(buf, 1)
+		dst = append(dst, 1)
 	} else {
-		buf = append(buf, 0)
+		dst = append(dst, 0)
 	}
-	buf = binary.AppendUvarint(buf, reqID)
-	return append(buf, value...)
+	dst = binary.AppendUvarint(dst, reqID)
+	return append(dst, value...)
+}
+
+func encodeGetResp(reqID uint64, found bool, value []byte) []byte {
+	return appendGetResp(make([]byte, 0, 16+len(value)), reqID, found, value)
 }
 
 func decodeGetResp(buf []byte) (reqID uint64, found bool, value []byte, ok bool) {
@@ -123,11 +139,14 @@ func decodeGetResp(buf []byte) (reqID uint64, found bool, value []byte, ok bool)
 
 // --- Replica value transfer ---
 
-// encodeReplicate carries one full versioned object; it is the only sync
+// appendReplicate carries one full versioned object; it is the only sync
 // or replication message that moves values.
+func appendReplicate(dst []byte, o store.Object) []byte {
+	return store.EncodeObject(append(dst, kindReplicate), o)
+}
+
 func encodeReplicate(o store.Object) []byte {
-	buf := append(make([]byte, 0, 40+len(o.Value)), kindReplicate)
-	return store.EncodeObject(buf, o)
+	return appendReplicate(make([]byte, 0, 40+len(o.Value)), o)
 }
 
 func decodeReplicate(buf []byte) (store.Object, bool) {
@@ -142,12 +161,16 @@ func decodeReplicate(buf []byte) (store.Object, bool) {
 // kindSyncRoot: sid uvarint | lo 16 | hi 16 | root 16. sid identifies the
 // initiator's round; lo/hi carry the arc so both sides digest the same
 // key domain regardless of their leaf-set views.
+func appendSyncRoot(dst []byte, sid uint64, lo, hi id.ID, root store.Digest) []byte {
+	dst = append(dst, kindSyncRoot)
+	dst = binary.AppendUvarint(dst, sid)
+	dst = append(dst, lo.Bytes()...)
+	dst = append(dst, hi.Bytes()...)
+	return append(dst, root[:]...)
+}
+
 func encodeSyncRoot(sid uint64, lo, hi id.ID, root store.Digest) []byte {
-	buf := append(make([]byte, 0, 64), kindSyncRoot)
-	buf = binary.AppendUvarint(buf, sid)
-	buf = append(buf, lo.Bytes()...)
-	buf = append(buf, hi.Bytes()...)
-	return append(buf, root[:]...)
+	return appendSyncRoot(make([]byte, 0, 64), sid, lo, hi, root)
 }
 
 func decodeSyncRoot(buf []byte) (sid uint64, lo, hi id.ID, root store.Digest, ok bool) {
@@ -167,8 +190,7 @@ func decodeSyncRoot(buf []byte) (sid uint64, lo, hi id.ID, root store.Digest, ok
 
 // kindSyncRootOK: sid uvarint. The responder's arc digest matched.
 func encodeSyncRootOK(sid uint64) []byte {
-	buf := append(make([]byte, 0, 16), kindSyncRootOK)
-	return binary.AppendUvarint(buf, sid)
+	return appendReqID(make([]byte, 0, 16), kindSyncRootOK, sid)
 }
 
 func decodeSyncRootOK(buf []byte) (uint64, bool) {
@@ -176,13 +198,17 @@ func decodeSyncRootOK(buf []byte) (uint64, bool) {
 }
 
 // kindSyncBuckets: sid uvarint | RangeBuckets × 16-byte bucket digests.
-func encodeSyncBuckets(sid uint64, buckets *[store.RangeBuckets]store.Digest) []byte {
-	buf := append(make([]byte, 0, 16+store.RangeBuckets*store.DigestLen), kindSyncBuckets)
-	buf = binary.AppendUvarint(buf, sid)
+func appendSyncBuckets(dst []byte, sid uint64, buckets *[store.RangeBuckets]store.Digest) []byte {
+	dst = append(dst, kindSyncBuckets)
+	dst = binary.AppendUvarint(dst, sid)
 	for i := range buckets {
-		buf = append(buf, buckets[i][:]...)
+		dst = append(dst, buckets[i][:]...)
 	}
-	return buf
+	return dst
+}
+
+func encodeSyncBuckets(sid uint64, buckets *[store.RangeBuckets]store.Digest) []byte {
+	return appendSyncBuckets(make([]byte, 0, 16+store.RangeBuckets*store.DigestLen), sid, buckets)
 }
 
 func decodeSyncBuckets(buf []byte) (sid uint64, buckets [store.RangeBuckets]store.Digest, ok bool) {
@@ -204,16 +230,20 @@ func decodeSyncBuckets(buf []byte) (sid uint64, buckets [store.RangeBuckets]stor
 // count × summary. Carries the initiator's per-key summaries for the
 // divergent buckets. It repeats the arc and bucket set instead of the sid
 // so the responder needs no round state to answer.
-func encodeSyncKeys(lo, hi id.ID, bitmap uint64, sums []store.Summary) []byte {
-	buf := append(make([]byte, 0, 48+len(sums)*56), kindSyncKeys)
-	buf = append(buf, lo.Bytes()...)
-	buf = append(buf, hi.Bytes()...)
-	buf = binary.BigEndian.AppendUint64(buf, bitmap)
-	buf = binary.AppendUvarint(buf, uint64(len(sums)))
+func appendSyncKeys(dst []byte, lo, hi id.ID, bitmap uint64, sums []store.Summary) []byte {
+	dst = append(dst, kindSyncKeys)
+	dst = append(dst, lo.Bytes()...)
+	dst = append(dst, hi.Bytes()...)
+	dst = binary.BigEndian.AppendUint64(dst, bitmap)
+	dst = binary.AppendUvarint(dst, uint64(len(sums)))
 	for _, sum := range sums {
-		buf = appendSummary(buf, sum)
+		dst = appendSummary(dst, sum)
 	}
-	return buf
+	return dst
+}
+
+func encodeSyncKeys(lo, hi id.ID, bitmap uint64, sums []store.Summary) []byte {
+	return appendSyncKeys(make([]byte, 0, 48+len(sums)*56), lo, hi, bitmap, sums)
 }
 
 func decodeSyncKeys(buf []byte) (lo, hi id.ID, bitmap uint64, sums []store.Summary, ok bool) {
@@ -245,13 +275,17 @@ func decodeSyncKeys(buf []byte) (lo, hi id.ID, bitmap uint64, sums []store.Summa
 }
 
 // kindSyncPull: count uvarint | count × 16-byte keys the responder wants.
-func encodeSyncPull(keys []id.ID) []byte {
-	buf := append(make([]byte, 0, 16+len(keys)*16), kindSyncPull)
-	buf = binary.AppendUvarint(buf, uint64(len(keys)))
+func appendSyncPull(dst []byte, keys []id.ID) []byte {
+	dst = append(dst, kindSyncPull)
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
 	for _, k := range keys {
-		buf = append(buf, k.Bytes()...)
+		dst = append(dst, k.Bytes()...)
 	}
-	return buf
+	return dst
+}
+
+func encodeSyncPull(keys []id.ID) []byte {
+	return appendSyncPull(make([]byte, 0, 16+len(keys)*16), keys)
 }
 
 func decodeSyncPull(buf []byte) ([]id.ID, bool) {

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"time"
+
+	"mspastry/internal/harness"
+)
+
+// BatchingResult is the control-message coalescing A/B: the same seeded
+// workload run with coalescing off (one message per datagram, the paper's
+// wire behaviour) and with coalescing windows set. Batching is a pure
+// wire-layer change — the protocol sends the same messages either way — so
+// routing quality (loss, hops, RDP) must be unchanged while the datagram
+// count drops: acks, heartbeats and probe replies to the same peer share
+// frames.
+//
+// The workload models aggressive failure detection: Tls lowered from the
+// paper's 30s to 1s, the regime the paper's dependability analysis targets
+// (detection latency is bounded by Tls+To, so fast detection forces a
+// short Tls) and the one where liveness traffic dominates control load.
+// Consecutive heartbeats to the same ring neighbour then arrive within the
+// long window and share frames — the paper's ack/heartbeat suppression
+// rule extended from "any traffic substitutes for a probe" to "liveness
+// traffic rides along with whatever else is going to that peer".
+type BatchingResult struct {
+	Window time.Duration
+	Long   time.Duration
+	Off    harness.Result
+	On     harness.Result
+}
+
+// BatchingTls is the heartbeat period of the aggressive-failure-detection
+// workload the batching A/B runs under.
+const BatchingTls = time.Second
+
+// Batching runs the A/B on the Poisson trace with the given base and
+// delay-tolerant coalescing windows. long must stay below the probe
+// timeout To: a heartbeat held longer than To arrives after the
+// receiver's Tls+To suspicion deadline and triggers spurious repair.
+func Batching(s Scale, window, long time.Duration) BatchingResult {
+	run := func(w, l time.Duration) harness.Result {
+		cfg := s.baseConfig("gatech", s.poisson(30*time.Minute))
+		cfg.Pastry.Tls = BatchingTls
+		// The maintenance tick bounds how often heartbeats can go out; it
+		// must be finer than Tls for the 1s heartbeat period to be real.
+		cfg.Pastry.TickInterval = BatchingTls / 2
+		cfg.CoalesceWindow = w
+		cfg.CoalesceLongWindow = l
+		return harness.Run(cfg)
+	}
+	return BatchingResult{Window: window, Long: long, Off: run(0, 0), On: run(window, long)}
+}
+
+// ControlDatagramReduction is the fraction of control datagrams per node
+// per second removed by coalescing (0.25 = 25% fewer datagrams).
+func (r BatchingResult) ControlDatagramReduction() float64 {
+	if r.Off.Totals.ControlDatagramsPerNodeSec == 0 {
+		return 0
+	}
+	return 1 - r.On.Totals.ControlDatagramsPerNodeSec/r.Off.Totals.ControlDatagramsPerNodeSec
+}
+
+// Rows renders the A/B with the datagram economy columns.
+func (r BatchingResult) Rows() []Row {
+	row := func(label string, res harness.Result) Row {
+		out := totalsRow(label, res)
+		out.Values["datagrams"] = res.Totals.DatagramsPerNodeSec
+		out.Values["ctrlDgrams"] = res.Totals.ControlDatagramsPerNodeSec
+		out.Values["ctrlBytes"] = res.Totals.ControlBytesPerNodeSec
+		out.Values["savedB"] = float64(res.Totals.CoalescedSavedBytes)
+		return out
+	}
+	return []Row{row("coalesce-off", r.Off), row("coalesce-on", r.On)}
+}

@@ -93,7 +93,7 @@ func Fig8Squirrel(cfg Fig8Config) Fig8Result {
 		}
 		return i
 	}
-	nw.OnSend(func(from *netmodel.Endpoint, to pastry.NodeRef, m pastry.Message) {
+	nw.OnSend(func(from *netmodel.Endpoint, to pastry.NodeRef, m pastry.Message, singleBytes int) {
 		msgs[win()]++
 	})
 
@@ -302,7 +302,7 @@ func Fig8Validation(n int, duration time.Duration, seed int64) (Fig8ValidationRe
 		sim := eventsim.New(seed)
 		topo := topology.CorpNet(topology.CorpNetConfig{Hubs: 4, EdgeRouters: 12}, rand.New(rand.NewSource(seed)))
 		nw := netmodel.New(sim, topo, 0)
-		nw.OnSend(func(*netmodel.Endpoint, pastry.NodeRef, pastry.Message) { simMsgs++ })
+		nw.OnSend(func(*netmodel.Endpoint, pastry.NodeRef, pastry.Message, int) { simMsgs++ })
 		origin := squirrel.OriginFunc(func(url string) ([]byte, error) { return []byte(url), nil })
 		first := topo.Attach(n, sim.Rand())
 		proxies := make([]*squirrel.Proxy, n)

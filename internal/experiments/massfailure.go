@@ -61,7 +61,7 @@ func massFailureCore(cfg MassFailureConfig) (MassFailureResult, []*pastry.Node, 
 
 	leafMsgs := 0
 	counting := false
-	nw.OnSend(func(_ *netmodel.Endpoint, _ pastry.NodeRef, m pastry.Message) {
+	nw.OnSend(func(_ *netmodel.Endpoint, _ pastry.NodeRef, m pastry.Message, _ int) {
 		if counting && m.Category() == pastry.CatLeafSet {
 			leafMsgs++
 		}

@@ -2,10 +2,17 @@
 // and a generated topology: it delivers messages with the topology's
 // one-way delay, drops them with a configurable uniform loss probability
 // (the paper's network-loss model; congestion is not modelled), and exposes
-// a traffic hook for the metrics pipeline.
+// traffic hooks for the metrics pipeline.
+//
+// Every send is charged its encoded wire-frame size — the same framing the
+// UDP transport puts on the socket — so simulated byte and datagram counts
+// are directly comparable to a live node's /metrics. With a coalescing
+// window set, control messages to the same peer share one frame, and the
+// whole frame is one loss/fault/delay roll: a batch is one packet.
 package netmodel
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"strconv"
@@ -14,15 +21,40 @@ import (
 	"mspastry/internal/eventsim"
 	"mspastry/internal/pastry"
 	"mspastry/internal/topology"
+	"mspastry/internal/wire"
 )
+
+// FrameInfo describes one frame (datagram) handed to the network, for
+// traffic accounting.
+type FrameInfo struct {
+	To pastry.NodeRef
+	// Msgs is how many messages the frame carries.
+	Msgs int
+	// Bytes is the encoded frame size: what the simulator charges and what
+	// a live transport would write to the socket.
+	Bytes int
+	// SingleBytes is what the same messages would have cost as individual
+	// single frames; SingleBytes - Bytes is the coalescing saving.
+	SingleBytes int
+	// Control reports whether every message in the frame is control
+	// traffic (a frame carrying a lookup or application payload is not a
+	// control datagram even when acks ride along).
+	Control bool
+	// Held is how long the oldest message waited for the coalescing
+	// window.
+	Held time.Duration
+}
 
 // Network is a simulated packet network connecting overlay endpoints.
 type Network struct {
 	sim      *eventsim.Simulator
 	topo     *topology.Network
 	lossRate float64
+	coWindow time.Duration
+	coLong   time.Duration
 	eps      map[string]*Endpoint
-	onSend   func(from *Endpoint, to pastry.NodeRef, m pastry.Message)
+	onSend   func(from *Endpoint, to pastry.NodeRef, m pastry.Message, singleBytes int)
+	onFrame  func(from *Endpoint, f FrameInfo)
 	faults   *FaultSet
 	// Drops counts messages lost to injected faults (uniform loss,
 	// per-link loss and partitions). Churn artifacts — unknown, dead or
@@ -34,6 +66,13 @@ type Network struct {
 	DropsByCause [NumDropCauses]uint64
 	// FaultCounts tallies duplication and reordering activity.
 	FaultCounts FaultCounters
+	// Frames counts frames (datagrams) handed to the network; FrameBytes
+	// sums their encoded sizes — the bytes the network charges.
+	// SingleBytes sums what the same messages would have cost unbatched,
+	// so SingleBytes - FrameBytes is the coalescing saving.
+	Frames      uint64
+	FrameBytes  uint64
+	SingleBytes uint64
 }
 
 // New creates a network over the given simulator and topology with a
@@ -45,10 +84,29 @@ func New(sim *eventsim.Simulator, topo *topology.Network, lossRate float64) *Net
 	return &Network{sim: sim, topo: topo, lossRate: lossRate, eps: make(map[string]*Endpoint)}
 }
 
+// SetCoalesceWindow sets how long coalescable control messages may wait to
+// share a frame with later traffic to the same peer. Zero (the default)
+// sends every message as its own frame, byte-for-byte reproducing the
+// pre-batching behaviour. Set it before traffic starts: endpoints build
+// their coalescers on first send.
+func (nw *Network) SetCoalesceWindow(d time.Duration) { nw.coWindow = d }
+
+// SetCoalesceLongWindow sets the extended wait budget for delay-tolerant
+// messages (heartbeats, distance reports, row announcements); see
+// wire.Config.LongWindow. It only matters when a base window is also set.
+func (nw *Network) SetCoalesceLongWindow(d time.Duration) { nw.coLong = d }
+
 // OnSend registers a hook invoked for every message handed to the network
-// (before loss is applied), for traffic accounting.
-func (nw *Network) OnSend(fn func(from *Endpoint, to pastry.NodeRef, m pastry.Message)) {
+// (at enqueue, before loss is applied), with the message's single-frame
+// encoded size for byte accounting.
+func (nw *Network) OnSend(fn func(from *Endpoint, to pastry.NodeRef, m pastry.Message, singleBytes int)) {
 	nw.onSend = fn
+}
+
+// OnFrame registers a hook invoked for every frame (datagram) the network
+// accepts, after any coalescing and before loss is applied.
+func (nw *Network) OnFrame(fn func(from *Endpoint, f FrameInfo)) {
+	nw.onFrame = fn
 }
 
 // Sim returns the underlying simulator.
@@ -65,6 +123,7 @@ type Endpoint struct {
 	addr  string
 	node  *pastry.Node
 	up    bool
+	co    *wire.Coalescer
 }
 
 // NewEndpoint wires a new endpoint to topology attachment point index.
@@ -101,11 +160,16 @@ func (ep *Endpoint) Bind(n *pastry.Node) {
 	ep.up = true
 }
 
-// Fail crashes the endpoint's node and stops delivery to it.
+// Fail crashes the endpoint's node and stops delivery to it. Messages
+// still waiting for the coalescing window are discarded: a crashed node
+// sends nothing.
 func (ep *Endpoint) Fail() {
 	ep.up = false
 	if ep.node != nil {
 		ep.node.Fail()
+	}
+	if ep.co != nil {
+		ep.co.DiscardAll()
 	}
 }
 
@@ -123,28 +187,115 @@ func (ep *Endpoint) Schedule(d time.Duration, fn func()) pastry.Timer {
 	return ep.nw.sim.After(d, fn)
 }
 
-// Send implements pastry.Env: apply the traffic hook, roll for loss and
-// the active fault set, then deliver after the topology's one-way delay
-// (perturbed by any delay-shaped faults). Routed payloads are copied on
-// delivery so retransmitted duplicates do not share mutable state.
+// EvictPeer implements pastry.PeerEvictor: when the node purges a peer
+// for good, its coalescing queue (if any) is released.
+func (ep *Endpoint) EvictPeer(ref pastry.NodeRef) {
+	if ep.co != nil {
+		ep.co.Drop(queueKey(ref))
+	}
+}
+
+// Send implements pastry.Env. With no coalescing window the message is
+// framed and transmitted immediately, exactly as before batching existed:
+// traffic hook, one loss roll, fault rolls, then delivery after the
+// topology's one-way delay. With a window, coalescable control messages
+// queue per destination and the whole batch later transmits as one frame.
 func (ep *Endpoint) Send(to pastry.NodeRef, m pastry.Message) {
 	nw := ep.nw
-	if nw.onSend != nil {
-		nw.onSend(ep, to, m)
+	if nw.coWindow <= 0 {
+		buf := wire.GetBuf()
+		*buf = pastry.AppendMessage(*buf, m)
+		size := wire.SingleSize(len(*buf))
+		wire.PutBuf(buf)
+		if nw.onSend != nil {
+			nw.onSend(ep, to, m, size)
+		}
+		nw.countFrame(ep, FrameInfo{
+			To: to, Msgs: 1, Bytes: size, SingleBytes: size,
+			Control: wire.Control(m.Category()),
+		})
+		ep.transmit(to, m, nil, 1)
+		return
 	}
+	size, err := ep.coalescer().Send(queueKey(to), to, m)
+	if err != nil {
+		// The simulator does not bound single-message size.
+		panic(fmt.Sprintf("netmodel: %v", err))
+	}
+	if nw.onSend != nil {
+		nw.onSend(ep, to, m, wire.SingleSize(size))
+	}
+}
+
+// coalescer lazily builds the endpoint's per-peer batching queues; lazily
+// so that SetCoalesceWindow calls made after endpoint creation but before
+// traffic starts still take effect.
+func (ep *Endpoint) coalescer() *wire.Coalescer {
+	if ep.co == nil {
+		nw := ep.nw
+		ep.co = wire.NewCoalescer(wire.Config{
+			Window:     nw.coWindow,
+			LongWindow: nw.coLong,
+			Now:        nw.sim.Now,
+			After:      func(d time.Duration, fn func()) { nw.sim.After(d, fn) },
+			Emit: func(f wire.Flush) {
+				control := true
+				for _, m := range f.Msgs {
+					if !wire.Control(m.Category()) {
+						control = false
+						break
+					}
+				}
+				nw.countFrame(ep, FrameInfo{
+					To: f.To, Msgs: len(f.Msgs), Bytes: len(f.Frame),
+					SingleBytes: f.SingleBytes, Control: control, Held: f.Held,
+				})
+				ep.transmit(f.To, nil, f.Msgs, len(f.Msgs))
+			},
+		})
+	}
+	return ep.co
+}
+
+// queueKey identifies a coalescing queue by address and node identity, so
+// messages addressed to a dead incarnation never share a frame with — and
+// are never revived by — traffic to its reincarnation.
+func queueKey(to pastry.NodeRef) string {
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[:8], to.ID.Hi)
+	binary.BigEndian.PutUint64(b[8:], to.ID.Lo)
+	return to.Addr + string(b[:])
+}
+
+// countFrame accounts one accepted frame and fires the frame hook.
+func (nw *Network) countFrame(from *Endpoint, f FrameInfo) {
+	nw.Frames++
+	nw.FrameBytes += uint64(f.Bytes)
+	nw.SingleBytes += uint64(f.SingleBytes)
+	if nw.onFrame != nil {
+		nw.onFrame(from, f)
+	}
+}
+
+// transmit carries one frame across the network: one loss roll, one fault
+// roll and one delay for the whole frame — a batch is one packet, lost or
+// delivered together. Exactly one of single (a frame of one) and batch is
+// set; nmsgs is the message count for drop accounting.
+func (ep *Endpoint) transmit(to pastry.NodeRef, single pastry.Message, batch []pastry.Message, nmsgs int) {
+	nw := ep.nw
 	if nw.lossRate > 0 && nw.sim.Rand().Float64() < nw.lossRate {
-		nw.drop(DropLoss)
+		nw.dropN(DropLoss, nmsgs)
 		return
 	}
 	if nw.faults != nil {
 		if cause, dropped := nw.faults.dropsMessage(nw.sim.Rand(), ep.addr, to.Addr); dropped {
-			nw.drop(cause)
+			nw.dropN(cause, nmsgs)
 			return
 		}
 	}
 	dst, ok := nw.eps[to.Addr]
 	if !ok {
-		nw.drop(DropUnknownEndpoint)
+		nw.dropN(DropUnknownEndpoint, nmsgs)
 		return
 	}
 	delay := nw.topo.Delay(ep.index, dst.index)
@@ -152,35 +303,49 @@ func (ep *Endpoint) Send(to pastry.NodeRef, m pastry.Message) {
 		delay = nw.faults.perturbDelay(nw.sim.Rand(), delay)
 		if nw.faults.duplicates(nw.sim.Rand()) {
 			dup := nw.faults.perturbDelay(nw.sim.Rand(), nw.topo.Delay(ep.index, dst.index))
-			nw.deliverAfter(dst, to, m, dup)
+			nw.deliverAfter(dst, to, single, batch, nmsgs, dup)
 		}
 	}
-	nw.deliverAfter(dst, to, m, delay)
+	nw.deliverAfter(dst, to, single, batch, nmsgs, delay)
 }
 
-// drop accounts one undelivered message.
-func (nw *Network) drop(cause DropCause) {
-	nw.DropsByCause[cause]++
+// dropN accounts n undelivered messages (a dropped frame drops everything
+// inside it).
+func (nw *Network) dropN(cause DropCause, n int) {
+	nw.DropsByCause[cause] += uint64(n)
 	if cause.injected() {
-		nw.Drops++
+		nw.Drops += uint64(n)
 	}
 }
 
-// deliverAfter schedules one delivery attempt; destination liveness and
-// identity are re-checked at delivery time.
-func (nw *Network) deliverAfter(dst *Endpoint, to pastry.NodeRef, m pastry.Message, delay time.Duration) {
+// deliverAfter schedules one delivery attempt for a frame; destination
+// liveness and identity are re-checked at delivery time, once per frame
+// (every message in a frame was addressed to the same incarnation).
+func (nw *Network) deliverAfter(dst *Endpoint, to pastry.NodeRef, single pastry.Message, batch []pastry.Message, nmsgs int, delay time.Duration) {
 	nw.sim.After(delay, func() {
 		if !dst.up || dst.node == nil {
-			nw.drop(DropDeadEndpoint)
+			nw.dropN(DropDeadEndpoint, nmsgs)
 			return
 		}
 		if dst.node.Ref().ID != to.ID {
 			// The endpoint was reincarnated with a new identity; the
-			// message was addressed to the dead instance.
-			nw.drop(DropStaleIdentity)
+			// frame was addressed to the dead instance.
+			nw.dropN(DropStaleIdentity, nmsgs)
 			return
 		}
-		dst.node.Receive(copyForDelivery(m))
+		if batch == nil {
+			dst.node.Receive(copyForDelivery(single))
+			return
+		}
+		for _, m := range batch {
+			if !dst.up || dst.node == nil || dst.node.Ref().ID != to.ID {
+				// An earlier message in the frame killed or replaced the
+				// node mid-delivery.
+				nw.dropN(DropDeadEndpoint, 1)
+				continue
+			}
+			dst.node.Receive(copyForDelivery(m))
+		}
 	})
 }
 

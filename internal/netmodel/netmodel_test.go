@@ -9,6 +9,7 @@ import (
 	"mspastry/internal/id"
 	"mspastry/internal/pastry"
 	"mspastry/internal/topology"
+	"mspastry/internal/wire"
 )
 
 func testNet(t *testing.T, loss float64) (*eventsim.Simulator, *Network) {
@@ -109,7 +110,7 @@ func TestOnSendHookSeesEverything(t *testing.T) {
 	na := makeNode(t, nw, a)
 	nb := makeNode(t, nw, b)
 	count := 0
-	nw.OnSend(func(from *Endpoint, to pastry.NodeRef, m pastry.Message) { count++ })
+	nw.OnSend(func(from *Endpoint, to pastry.NodeRef, m pastry.Message, singleBytes int) { count++ })
 	for i := 0; i < 100; i++ {
 		a.Send(nb.Ref(), &pastry.Heartbeat{From: na.Ref()})
 	}
@@ -143,4 +144,85 @@ func TestBadLossRatePanics(t *testing.T) {
 		}
 	}()
 	New(sim, topo, 1.0)
+}
+
+// The simulator must charge exactly the bytes the wire layer would put on
+// a real socket — that equality is what makes simulated overhead numbers
+// comparable to a live node's /metrics.
+func TestChargedBytesMatchWireEncoder(t *testing.T) {
+	// Without coalescing, every message is charged its single-frame
+	// encoding, byte for byte.
+	sim, nw := testNet(t, 0)
+	a := nw.NewEndpoint(nw.Topology().Attach(2, sim.Rand()))
+	b := nw.NewEndpoint(a.Index() + 1)
+	na := makeNode(t, nw, a)
+	nb := makeNode(t, nw, b)
+	msgs := []pastry.Message{
+		&pastry.Heartbeat{From: na.Ref(), TrtHint: 30 * time.Second},
+		&pastry.Ack{Xfer: 3, From: na.Ref()},
+		&pastry.LSProbe{From: na.Ref(), Leaves: []pastry.NodeRef{nb.Ref()}, NeedNear: true},
+		&pastry.Envelope{Xfer: 1, From: na.Ref(), Lookup: &pastry.Lookup{Key: id.New(5, 5), Seq: 1, Origin: na.Ref()}},
+	}
+	var charged []int
+	nw.OnFrame(func(from *Endpoint, f FrameInfo) {
+		if from == a {
+			charged = append(charged, f.Bytes)
+		}
+	})
+	for _, m := range msgs {
+		a.Send(nb.Ref(), m)
+	}
+	if len(charged) != len(msgs) {
+		t.Fatalf("charged %d frames for %d sends", len(charged), len(msgs))
+	}
+	total := 0
+	for i, m := range msgs {
+		want := len(wire.EncodeSingle(m))
+		if charged[i] != want {
+			t.Errorf("message %d (%T): charged %d bytes, wire encoder produces %d", i, m, charged[i], want)
+		}
+		total += want
+	}
+
+	// With a window, the batch is charged exactly what an independent wire
+	// coalescer assembles for the same message sequence.
+	sim2, nw2 := testNet(t, 0)
+	nw2.SetCoalesceWindow(5 * time.Millisecond)
+	c := nw2.NewEndpoint(nw2.Topology().Attach(2, sim2.Rand()))
+	d := nw2.NewEndpoint(c.Index() + 1)
+	nc := makeNode(t, nw2, c)
+	nd := makeNode(t, nw2, d)
+	batch := []pastry.Message{
+		&pastry.Heartbeat{From: nc.Ref(), TrtHint: 30 * time.Second},
+		&pastry.Ack{Xfer: 9, From: nc.Ref()},
+		&pastry.Heartbeat{From: nc.Ref(), TrtHint: time.Second},
+	}
+	var batchCharged []int
+	nw2.OnFrame(func(from *Endpoint, f FrameInfo) {
+		if from == c {
+			batchCharged = append(batchCharged, f.Bytes)
+		}
+	})
+	for _, m := range batch {
+		c.Send(nd.Ref(), m)
+	}
+	sim2.RunUntil(6 * time.Millisecond) // past the window: one flush
+
+	want := 0
+	ref := wire.NewCoalescer(wire.Config{
+		Window: 5 * time.Millisecond,
+		Now:    func() time.Duration { return 0 },
+		After:  func(time.Duration, func()) {},
+		Emit:   func(f wire.Flush) { want += len(f.Frame) },
+	})
+	for _, m := range batch {
+		ref.Send("peer", nd.Ref(), m)
+	}
+	ref.FlushAll()
+	if len(batchCharged) != 1 || batchCharged[0] != want {
+		t.Fatalf("batch charged %v, wire coalescer assembles %d bytes", batchCharged, want)
+	}
+	if got := int(nw2.FrameBytes); got != want {
+		t.Fatalf("network charged %d total bytes, wire output is %d", got, want)
+	}
 }

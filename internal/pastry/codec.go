@@ -12,8 +12,9 @@ import (
 // fixed order. Integers are unsigned varints, durations are varint
 // nanoseconds, node references are 16 raw identifier bytes plus a
 // length-prefixed address, and slices carry a varint element count. The
-// format is versionless by design: all nodes in a deployment run the same
-// binary (as in the paper's deployment).
+// message format itself is versionless; versioning lives one layer down,
+// in the internal/wire frame header that every transported message is
+// wrapped in (see DESIGN.md "Wire format & batching").
 
 const (
 	tagLookupEnvelope byte = iota + 1
@@ -41,10 +42,16 @@ const (
 // malicious packet from causing huge allocations.
 const maxWireSlice = 4096
 
-// EncodeMessage serialises a message for transmission over a real
-// transport. It panics on unknown message types (a programming error).
+// EncodeMessage serialises a message into a fresh buffer. Hot paths
+// should prefer AppendMessage with a pooled or reused buffer.
 func EncodeMessage(m Message) []byte {
-	buf := make([]byte, 0, 256)
+	return AppendMessage(make([]byte, 0, 256), m)
+}
+
+// AppendMessage serialises a message onto buf and returns the extended
+// slice, allocating only when buf's capacity is exhausted. It panics on
+// unknown message types (a programming error).
+func AppendMessage(buf []byte, m Message) []byte {
 	switch msg := m.(type) {
 	case *Envelope:
 		buf = append(buf, tagLookupEnvelope)

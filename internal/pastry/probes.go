@@ -1,6 +1,7 @@
 package pastry
 
 import (
+	"sort"
 	"time"
 
 	"mspastry/internal/id"
@@ -86,11 +87,17 @@ func (n *Node) armProbeTimer(ps *probeState) {
 	ps.timer = n.schedule(n.cfg.To, func() { n.probeTimeout(ps) })
 }
 
+// failedList snapshots the failure records in identifier order. The order
+// matters: receivers process the list sequentially and each confirm-probe
+// mutates their leaf set, so a map-order list would make the repair
+// cascade — and every byte count derived from it — vary between otherwise
+// identical runs.
 func (n *Node) failedList() []NodeRef {
 	out := make([]NodeRef, 0, len(n.failed))
 	for _, ref := range n.failed {
 		out = append(out, ref)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Cmp(out[j].ID) < 0 })
 	return out
 }
 

@@ -26,6 +26,8 @@ type graveRecord struct {
 // to expiry) is evicted.
 func (n *Node) rememberFailed(ref NodeRef) {
 	if n.cfg.ReconnectInterval <= 0 {
+		// No reconnect cache: the purge is final right away.
+		n.evictPeer(ref)
 		return
 	}
 	if _, ok := n.graveyard[ref.ID]; ok {
@@ -40,8 +42,18 @@ func (n *Node) rememberFailed(ref NodeRef) {
 			}
 		}
 		delete(n.graveyard, victim.ref.ID)
+		n.evictPeer(victim.ref)
 	}
 	n.graveyard[ref.ID] = &graveRecord{ref: ref, lastTry: n.env.Now()}
+}
+
+// evictPeer tells a PeerEvictor transport that ref is purged for good and
+// its per-peer transport state (resolved address, coalescing queue) can be
+// released.
+func (n *Node) evictPeer(ref NodeRef) {
+	if ev, ok := n.env.(PeerEvictor); ok {
+		ev.EvictPeer(ref)
+	}
 }
 
 // forgetFailed drops ref's reconnect record (direct contact proved it
@@ -66,6 +78,7 @@ func (n *Node) retryReconnect(now time.Duration) {
 	}
 	if rec.tries >= n.cfg.ReconnectRetries {
 		delete(n.graveyard, rec.ref.ID)
+		n.evictPeer(rec.ref)
 		return
 	}
 	rec.tries++

@@ -166,7 +166,7 @@ func TestStreamSurvivesOneStripeLoss(t *testing.T) {
 	cfg := DefaultConfig()
 	groups := StripeGroups("robust", cfg.DataStripes)
 	deadStripe := groups[2]
-	c.nw.OnSend(func(from *netmodel.Endpoint, to pastry.NodeRef, m pastry.Message) {})
+	c.nw.OnSend(func(from *netmodel.Endpoint, to pastry.NodeRef, m pastry.Message, singleBytes int) {})
 	// Intercept at the scribe payload level: suppress publishes to the
 	// dead stripe group by dropping the stripe's blocks in the handler —
 	// simplest faithful approach: publish only to the other stripes.

@@ -23,8 +23,21 @@ const numCategories = pastry.CategoryCount
 type Window struct {
 	Start time.Duration
 	// ControlSent counts sent messages by category (lookups included at
-	// index CatLookup but excluded from control-traffic rates).
+	// index CatLookup but excluded from control-traffic rates); SentBytes
+	// holds the corresponding single-frame encoded bytes, taken from the
+	// wire layer so sim and live byte accounting agree.
 	ControlSent [numCategories]int
+	SentBytes   [numCategories]int
+	// Datagrams counts frames handed to the network; a coalesced batch is
+	// one datagram. ControlDatagrams counts frames carrying only control
+	// messages (a lookup frame with acks riding along is not one).
+	// DatagramBytes sums encoded frame sizes as charged on the wire, and
+	// CoalescedSaved is the byte saving versus sending every message as
+	// its own frame.
+	Datagrams        int
+	ControlDatagrams int
+	DatagramBytes    int
+	CoalescedSaved   int
 	// Issued counts lookups issued in this window; Delivered, Incorrect
 	// and Lost are attributed to the window the lookup was issued in.
 	Issued    int
@@ -161,10 +174,28 @@ func (c *Collector) winIndex(t time.Duration) int {
 	return i
 }
 
-// MsgSent records one sent message at time t.
-func (c *Collector) MsgSent(t time.Duration, cat pastry.Category) {
+// MsgSent records one sent message at time t with its single-frame
+// encoded size in bytes. Retransmissions keep their control category
+// (a retx envelope reports CatAck) even when they travel inside a batch.
+func (c *Collector) MsgSent(t time.Duration, cat pastry.Category, bytes int) {
 	if i := c.winIndex(t); i >= 0 {
 		c.wins[i].ControlSent[cat]++
+		c.wins[i].SentBytes[cat] += bytes
+	}
+}
+
+// DatagramSent records one frame handed to the network at time t: its
+// on-wire size, what its contents would have cost unbatched, and whether
+// it is a pure control-traffic frame.
+func (c *Collector) DatagramSent(t time.Duration, control bool, bytes, singleBytes int) {
+	if i := c.winIndex(t); i >= 0 {
+		w := &c.wins[i]
+		w.Datagrams++
+		w.DatagramBytes += bytes
+		w.CoalescedSaved += singleBytes - bytes
+		if control {
+			w.ControlDatagrams++
+		}
 	}
 }
 
@@ -316,6 +347,13 @@ type WindowStat struct {
 	ControlPerNodeSec float64
 	// ByCategory breaks control traffic down as in Figure 4 (right).
 	ByCategory map[pastry.Category]float64
+	// ControlBytesPerNodeSec is control traffic measured in encoded wire
+	// bytes rather than messages.
+	ControlBytesPerNodeSec float64
+	// DatagramsPerNodeSec and ControlDatagramsPerNodeSec count frames on
+	// the wire; with coalescing enabled they fall below the message rates.
+	DatagramsPerNodeSec        float64
+	ControlDatagramsPerNodeSec float64
 	// RDP is the relative delay penalty for lookups issued in the window:
 	// total achieved delay over total direct delay (the ratio-of-means
 	// form, which is robust to near-zero direct delays).
@@ -351,15 +389,19 @@ func (c *Collector) Finalize() []WindowStat {
 			row.Active = w.nodeSeconds / winLen.Seconds()
 		}
 		if w.nodeSeconds > 0 {
-			var control int
+			var control, controlBytes int
 			for cat := 1; cat < numCategories; cat++ {
 				if !isControl(pastry.Category(cat)) {
 					continue
 				}
 				control += w.ControlSent[cat]
+				controlBytes += w.SentBytes[cat]
 				row.ByCategory[pastry.Category(cat)] = float64(w.ControlSent[cat]) / w.nodeSeconds
 			}
 			row.ControlPerNodeSec = float64(control) / w.nodeSeconds
+			row.ControlBytesPerNodeSec = float64(controlBytes) / w.nodeSeconds
+			row.DatagramsPerNodeSec = float64(w.Datagrams) / w.nodeSeconds
+			row.ControlDatagramsPerNodeSec = float64(w.ControlDatagrams) / w.nodeSeconds
 			row.RetxPerNodeSec = float64(w.Retransmits) / w.nodeSeconds
 		}
 		if w.RDPCount > 0 && w.NetDelaySum > 0 {
@@ -388,11 +430,19 @@ type Totals struct {
 	ControlPerNodeSec                  float64
 	// TotalPerNodeSec includes lookup and application traffic (the
 	// quantity the Squirrel validation in Figure 8 plots).
-	TotalPerNodeSec   float64
-	ByCategory        map[pastry.Category]float64
-	MeanActive        float64
-	Joins             int
-	MedianJoinLatency time.Duration
+	TotalPerNodeSec float64
+	// ControlBytesPerNodeSec measures control traffic in encoded wire
+	// bytes; DatagramsPerNodeSec and ControlDatagramsPerNodeSec count
+	// frames on the wire (a batch is one datagram); CoalescedSavedBytes is
+	// the run-total byte saving from batching.
+	ControlBytesPerNodeSec     float64
+	DatagramsPerNodeSec        float64
+	ControlDatagramsPerNodeSec float64
+	CoalescedSavedBytes        int
+	ByCategory                 map[pastry.Category]float64
+	MeanActive                 float64
+	Joins                      int
+	MedianJoinLatency          time.Duration
 	// Retransmits is the run total of per-hop retransmissions;
 	// PeakRetxPerNodeSec is the highest windowed retransmission rate (the
 	// storm's amplitude).
@@ -408,8 +458,17 @@ func (c *Collector) Totals() Totals {
 	var delaySum, netDelaySum, ratioSum float64
 	var rdpN, hopsSum int
 	var nodeSec float64
+	var datagrams, controlDatagrams, controlBytes int
 	control := make(map[pastry.Category]int)
 	for _, w := range c.wins {
+		datagrams += w.Datagrams
+		controlDatagrams += w.ControlDatagrams
+		t.CoalescedSavedBytes += w.CoalescedSaved
+		for cat := 1; cat < numCategories; cat++ {
+			if isControl(pastry.Category(cat)) {
+				controlBytes += w.SentBytes[cat]
+			}
+		}
 		t.Issued += w.Issued
 		t.Delivered += w.Delivered
 		t.Incorrect += w.Incorrect
@@ -452,6 +511,9 @@ func (c *Collector) Totals() Totals {
 		}
 		t.ControlPerNodeSec = float64(totalControl) / nodeSec
 		t.TotalPerNodeSec = float64(totalAll) / nodeSec
+		t.ControlBytesPerNodeSec = float64(controlBytes) / nodeSec
+		t.DatagramsPerNodeSec = float64(datagrams) / nodeSec
+		t.ControlDatagramsPerNodeSec = float64(controlDatagrams) / nodeSec
 	}
 	t.MeanActive = nodeSec / c.duration.Seconds()
 	t.Joins = len(c.joinLatencies)

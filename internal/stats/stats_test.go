@@ -12,10 +12,10 @@ func TestWindowAttribution(t *testing.T) {
 	c := NewCollector(30*time.Minute, 10*time.Minute)
 	c.ActiveChanged(0, +10)
 	// Messages in each window.
-	c.MsgSent(time.Minute, pastry.CatLeafSet)
-	c.MsgSent(11*time.Minute, pastry.CatLeafSet)
-	c.MsgSent(12*time.Minute, pastry.CatDistance)
-	c.MsgSent(25*time.Minute, pastry.CatAck)
+	c.MsgSent(time.Minute, pastry.CatLeafSet, 40)
+	c.MsgSent(11*time.Minute, pastry.CatLeafSet, 40)
+	c.MsgSent(12*time.Minute, pastry.CatDistance, 40)
+	c.MsgSent(25*time.Minute, pastry.CatAck, 40)
 	ws := c.Finalize()
 	if len(ws) != 3 {
 		t.Fatalf("windows = %d", len(ws))
@@ -70,7 +70,7 @@ func TestLookupAccounting(t *testing.T) {
 func TestSetupPhaseIgnored(t *testing.T) {
 	c := NewCollector(10*time.Minute, 10*time.Minute)
 	c.ActiveChanged(-time.Minute, +3) // during setup
-	c.MsgSent(-30*time.Second, pastry.CatLeafSet)
+	c.MsgSent(-30*time.Second, pastry.CatLeafSet, 40)
 	c.LookupIssued(-time.Second)
 	c.LookupDelivered(-time.Second, true, time.Millisecond, time.Millisecond, 1)
 	c.LookupLost(-time.Second)
@@ -104,8 +104,8 @@ func TestActiveIntegration(t *testing.T) {
 func TestControlExcludesLookups(t *testing.T) {
 	c := NewCollector(10*time.Minute, 10*time.Minute)
 	c.ActiveChanged(0, +1)
-	c.MsgSent(time.Minute, pastry.CatLookup)
-	c.MsgSent(time.Minute, pastry.CatAck)
+	c.MsgSent(time.Minute, pastry.CatLookup, 40)
+	c.MsgSent(time.Minute, pastry.CatAck, 40)
 	tt := c.Totals()
 	want := 1.0 / 600
 	if math.Abs(tt.ControlPerNodeSec-want) > 1e-12 {

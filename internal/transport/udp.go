@@ -3,6 +3,12 @@
 // transport implements pastry.Env with a wall-clock, real timers and the
 // wire codec, and serialises all node callbacks on one event loop per node
 // (the protocol code is single-threaded by design).
+//
+// All traffic travels in wire frames. With a coalescing window set,
+// control messages to the same peer queue briefly and share one datagram;
+// latency-critical messages flush immediately and carry the pending batch
+// with them. Incoming batch frames are decoded back into individual
+// message deliveries.
 package transport
 
 import (
@@ -16,12 +22,19 @@ import (
 
 	"mspastry/internal/id"
 	"mspastry/internal/pastry"
+	"mspastry/internal/wire"
 )
 
 // maxPacket is the largest datagram the transport will send or accept.
 // Join replies and leaf-set probes carry tens of node references; 64 KiB
 // (the UDP maximum) leaves ample headroom.
-const maxPacket = 64 * 1024
+const maxPacket = wire.DefaultMaxPacket
+
+// maxAddrCache bounds the resolved-address cache. The primary bound is
+// eviction on graveyard purge (EvictPeer); the cap is a backstop against
+// pathological churn with ephemeral ports, shedding an arbitrary entry
+// (entries re-resolve on demand).
+const maxAddrCache = 4096
 
 // UDP hosts one MSPastry node on a UDP socket.
 type UDP struct {
@@ -35,16 +48,18 @@ type UDP struct {
 	mu            sync.Mutex
 	closed        bool
 	node          *pastry.Node
+	coWindow      time.Duration
+	coLong        time.Duration
 	onDecodeError func(remote net.Addr, err error)
 	onSendError   func(to pastry.NodeRef, err error)
 	sink          MetricsSink
 
 	sent, received atomic.Uint64
 
-	// addrs caches resolved destination addresses per overlay address.
-	// It is confined to the event loop (Send runs there), so it needs no
-	// lock; it grows to at most the number of distinct peers seen.
+	// Event-loop-confined state (Send, flush timers and EvictPeer all run
+	// there): the per-peer resolved-address cache and the coalescer.
 	addrs map[string]*net.UDPAddr
+	co    *wire.Coalescer
 }
 
 // OnDecodeError registers fn to observe malformed packets (for logging).
@@ -76,26 +91,34 @@ func (t *UDP) sendErrorHook() func(pastry.NodeRef, error) {
 	return t.onSendError
 }
 
-// MetricsSink observes the transport's packet-level activity. The
-// telemetry package provides an implementation backed by its registry; the
-// interface keeps this package free of any dependency on it. Sent/received
-// callbacks run on the event loop and the read loop respectively, so
+// MetricsSink observes the transport's traffic. The telemetry package
+// provides an implementation backed by its registry; the interface keeps
+// this package free of any dependency on it. Send-side callbacks run on
+// the event loop and receive-side callbacks on the read loop, so
 // implementations must be safe for concurrent use.
 type MetricsSink interface {
-	// PacketSent fires after a datagram is written, with the message's
-	// traffic category and encoded size.
-	PacketSent(cat pastry.Category, bytes int)
-	// PacketReceived fires for every well-formed datagram.
-	PacketReceived(cat pastry.Category, bytes int)
+	// MsgSent fires for every message accepted for transmission, with its
+	// single-frame encoded size (what it would cost unbatched).
+	MsgSent(cat pastry.Category, bytes int)
+	// MsgReceived fires for every well-formed message decoded from a
+	// frame, with its single-frame encoded size.
+	MsgReceived(cat pastry.Category, bytes int)
+	// DatagramSent fires after a frame is written: its on-wire size, how
+	// many messages it carried, the bytes saved versus unbatched sends,
+	// and how long its oldest message waited for the coalescing window.
+	DatagramSent(bytes, msgs, savedBytes int, held time.Duration)
+	// DatagramReceived fires for every structurally valid frame received.
+	DatagramReceived(bytes, msgs int)
 	// SendError fires when a send fails: unresolvable address, oversized
 	// message or socket write error.
 	SendError()
-	// DecodeError fires for malformed packets.
+	// DecodeError fires for malformed frames and for each malformed
+	// message inside an otherwise valid batch.
 	DecodeError()
 }
 
-// SetMetricsSink installs the packet-level metrics sink. Safe to call at
-// any time; nil removes it.
+// SetMetricsSink installs the traffic metrics sink. Safe to call at any
+// time; nil removes it.
 func (t *UDP) SetMetricsSink(sink MetricsSink) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -106,6 +129,31 @@ func (t *UDP) metricsSink() MetricsSink {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.sink
+}
+
+// SetCoalesceWindow sets how long coalescable control messages may wait to
+// share a datagram with later traffic to the same peer. Zero (the
+// default) sends every message as its own datagram. Set it before the
+// node starts sending: the coalescer is built on first send.
+func (t *UDP) SetCoalesceWindow(d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.coWindow = d
+}
+
+// SetCoalesceLongWindow sets the extended wait budget for delay-tolerant
+// messages (heartbeats, distance reports, row announcements); see
+// wire.Config.LongWindow. Keep it well below the probe timeout To.
+func (t *UDP) SetCoalesceLongWindow(d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.coLong = d
+}
+
+func (t *UDP) coalesceWindows() (window, long time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.coWindow, t.coLong
 }
 
 // Listen opens a UDP socket on addr (for example "127.0.0.1:0") and starts
@@ -137,7 +185,8 @@ func Listen(addr string, seed int64) (*UDP, error) {
 func (t *UDP) Addr() string { return t.conn.LocalAddr().String() }
 
 // Counters returns the number of protocol messages sent and received by
-// this transport (malformed packets are not counted as received).
+// this transport (malformed packets are not counted as received; messages
+// sharing a coalesced datagram each count once).
 func (t *UDP) Counters() (sent, received uint64) {
 	return t.sent.Load(), t.received.Load()
 }
@@ -190,8 +239,8 @@ func (t *UDP) DoSync(fn func(n *pastry.Node)) {
 	}
 }
 
-// Close shuts the transport down: the node crashes (fail-stop), the socket
-// closes and the loops exit.
+// Close shuts the transport down: the node crashes (fail-stop), pending
+// coalesced frames flush, the socket closes and the loops exit.
 func (t *UDP) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -203,6 +252,9 @@ func (t *UDP) Close() error {
 	t.DoSync(func(n *pastry.Node) {
 		if n != nil {
 			n.Fail()
+		}
+		if t.co != nil {
+			t.co.FlushAll()
 		}
 	})
 	close(t.done)
@@ -235,23 +287,46 @@ func (t *UDP) readLoop() {
 			}
 			continue
 		}
-		msg, err := pastry.DecodeMessage(append([]byte(nil), buf[:n]...))
-		if err != nil {
+		// The pastry decoder copies everything it retains, so the frame
+		// can be decoded in place and buf reused for the next datagram.
+		msgs, sizes, bad, decErr := wire.DecodeAll(buf[:n])
+		if msgs == nil && decErr != nil {
 			if sink := t.metricsSink(); sink != nil {
 				sink.DecodeError()
 			}
 			if fn := t.decodeErrorHook(); fn != nil {
-				fn(remote, err)
+				fn(remote, decErr)
 			}
 			continue
 		}
-		t.received.Add(1)
-		if sink := t.metricsSink(); sink != nil {
-			sink.PacketReceived(msg.Category(), n)
+		sink := t.metricsSink()
+		if bad > 0 {
+			// A malformed message inside a batch drops only itself.
+			if sink != nil {
+				for i := 0; i < bad; i++ {
+					sink.DecodeError()
+				}
+			}
+			if fn := t.decodeErrorHook(); fn != nil {
+				fn(remote, decErr)
+			}
+		}
+		if len(msgs) == 0 {
+			continue
+		}
+		t.received.Add(uint64(len(msgs)))
+		if sink != nil {
+			sink.DatagramReceived(n, len(msgs))
+			for i, m := range msgs {
+				sink.MsgReceived(m.Category(), wire.SingleSize(sizes[i]))
+			}
 		}
 		t.Do(func(node *pastry.Node) {
-			if node != nil {
-				node.Receive(msg)
+			if node == nil {
+				return
+			}
+			for _, m := range msgs {
+				node.Receive(m)
 			}
 		})
 	}
@@ -267,32 +342,101 @@ func (e *udpEnv) Now() time.Duration { return time.Since(e.start) }
 // Rand returns the transport's random source (only touched from the loop).
 func (e *udpEnv) Rand() *rand.Rand { return e.rng }
 
-// Send encodes and transmits a message. Delivery is best-effort UDP;
+// Send frames and transmits a message, batching coalescable control
+// messages within the configured window. Delivery is best-effort UDP;
 // failures are reported through OnSendError and otherwise dropped, like a
 // lost datagram.
 func (e *udpEnv) Send(to pastry.NodeRef, m pastry.Message) {
-	dst, ok := e.addrs[to.Addr]
-	if !ok {
-		var err error
-		dst, err = net.ResolveUDPAddr("udp", to.Addr)
-		if err != nil {
-			e.sendError(to, fmt.Errorf("transport: resolve %q: %w", to.Addr, err))
-			return
-		}
-		e.addrs[to.Addr] = dst
+	t := (*UDP)(e)
+	// Resolve now so address errors surface synchronously, before the
+	// message can enter a batch.
+	if _, err := e.resolve(to.Addr); err != nil {
+		e.sendError(to, fmt.Errorf("transport: resolve %q: %w", to.Addr, err))
+		return
 	}
-	buf := pastry.EncodeMessage(m)
-	if len(buf) > maxPacket {
-		e.sendError(to, fmt.Errorf("transport: message of %d bytes exceeds %d", len(buf), maxPacket))
+	size, err := t.coalescer().Send(to.Addr, to, m)
+	if err != nil {
+		e.sendError(to, fmt.Errorf("transport: message of %d bytes exceeds %d: %w",
+			wire.SingleSize(size), maxPacket, err))
 		return
 	}
 	e.sent.Add(1)
-	if _, err := e.conn.WriteToUDP(buf, dst); err != nil {
-		e.sendError(to, err)
+	if sink := t.metricsSink(); sink != nil {
+		sink.MsgSent(m.Category(), wire.SingleSize(size))
+	}
+}
+
+// resolve returns the cached socket address for an overlay address,
+// resolving and caching on miss. Event-loop confined.
+func (e *udpEnv) resolve(addr string) (*net.UDPAddr, error) {
+	if dst, ok := e.addrs[addr]; ok {
+		return dst, nil
+	}
+	dst, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if len(e.addrs) >= maxAddrCache {
+		for victim := range e.addrs {
+			delete(e.addrs, victim)
+			break
+		}
+	}
+	e.addrs[addr] = dst
+	return dst, nil
+}
+
+// coalescer lazily builds the per-peer batching queues, so a
+// SetCoalesceWindow call made between Listen and the first send takes
+// effect.
+func (t *UDP) coalescer() *wire.Coalescer {
+	if t.co == nil {
+		window, long := t.coalesceWindows()
+		t.co = wire.NewCoalescer(wire.Config{
+			Window:     window,
+			LongWindow: long,
+			MaxPacket:  maxPacket,
+			MaxSingle:  maxPacket,
+			Now:        (*udpEnv)(t).Now,
+			After: func(d time.Duration, fn func()) {
+				time.AfterFunc(d, func() {
+					t.Do(func(*pastry.Node) { fn() })
+				})
+			},
+			Emit: t.emitFrame,
+		})
+	}
+	return t.co
+}
+
+// emitFrame writes one assembled frame to the socket. Runs on the event
+// loop (synchronously from Send, or from a flush timer).
+func (t *UDP) emitFrame(f wire.Flush) {
+	e := (*udpEnv)(t)
+	dst, err := e.resolve(f.To.Addr)
+	if err != nil {
+		// The cache entry was shed between enqueue and flush and the
+		// re-resolve failed; the frame is lost like a dropped datagram.
+		e.sendError(f.To, fmt.Errorf("transport: resolve %q: %w", f.To.Addr, err))
 		return
 	}
-	if sink := (*UDP)(e).metricsSink(); sink != nil {
-		sink.PacketSent(m.Category(), len(buf))
+	if _, err := t.conn.WriteToUDP(f.Frame, dst); err != nil {
+		e.sendError(f.To, err)
+		return
+	}
+	if sink := t.metricsSink(); sink != nil {
+		sink.DatagramSent(len(f.Frame), len(f.Msgs), f.SingleBytes-len(f.Frame), f.Held)
+	}
+}
+
+// EvictPeer implements pastry.PeerEvictor: when the node purges a peer for
+// good (graveyard expiry or eviction), the peer's resolved address and any
+// pending coalescing queue are released, keeping per-peer state bounded
+// under churn. Runs on the event loop.
+func (e *udpEnv) EvictPeer(ref pastry.NodeRef) {
+	delete(e.addrs, ref.Addr)
+	if e.co != nil {
+		e.co.Drop(ref.Addr)
 	}
 }
 

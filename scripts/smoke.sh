@@ -14,9 +14,10 @@ B_ADMIN=127.0.0.1:7482
 dir=$(mktemp -d)
 bin="$dir/mspastry-node"
 cleanup() {
-  [[ -n "${a_pid:-}" ]] && kill "$a_pid" 2>/dev/null || true
-  [[ -n "${b_pid:-}" ]] && kill "$b_pid" 2>/dev/null || true
-  [[ -n "${hold_pid:-}" ]] && kill "$hold_pid" 2>/dev/null || true
+  # hold_pid may hold several pids; word-splitting is intentional.
+  for p in ${a_pid:-} ${b_pid:-} ${hold_pid:-}; do
+    kill "$p" 2>/dev/null || true
+  done
   rm -rf "$dir"
 }
 trap cleanup EXIT
@@ -68,7 +69,7 @@ check_metrics() { # check_metrics <admin-addr> <name>
   grep -q "^# TYPE mspastry_lookups_issued_total counter$" "$out" ||
     { echo "smoke: $2 /metrics missing TYPE header" >&2; cat "$out" >&2; exit 1; }
   # Non-empty overlay counters: some traffic category must be non-zero.
-  grep -E '^mspastry_transport_packets_sent_total\{category="[a-z]+"\} [1-9]' "$out" > /dev/null ||
+  grep -E '^mspastry_transport_msgs_sent_total\{category="[a-z]+"\} [1-9]' "$out" > /dev/null ||
     { echo "smoke: $2 /metrics has no non-zero transport counters" >&2; cat "$out" >&2; exit 1; }
   local n
   n=$(grep -c '^mspastry_' "$out")
@@ -82,8 +83,12 @@ check_metrics "$B_ADMIN" nodeB
 grep -q '^mspastry_joins_total 1$' "$dir/metrics-nodeB.txt" ||
   { echo "smoke: node B join not counted" >&2; exit 1; }
 
-curl -sf "http://$A_ADMIN/status" | grep -q '"metrics"' ||
-  { echo "smoke: /status missing metrics snapshot" >&2; exit 1; }
+# Download to a file: under pipefail, `curl | grep -q` races — grep exits
+# on the first match and curl fails with EPIPE on the rest of the body.
+curl -sf "http://$A_ADMIN/status" > "$dir/status-a.json" ||
+  { echo "smoke: /status request failed" >&2; exit 1; }
+grep -q '"metrics"' "$dir/status-a.json" ||
+  { echo "smoke: /status missing metrics snapshot" >&2; cat "$dir/status-a.json" >&2; exit 1; }
 
 echo "quit" > "$dir/b.in"
 echo "quit" > "$dir/a.in"
