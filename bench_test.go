@@ -26,6 +26,7 @@ package mspastry
 //	BenchmarkMassFailureRecovery — §3.1 generalised repair after 50% correlated failure
 //	BenchmarkPartitionHeal       — fault injection: 50/50 partition, heal, time-to-repair
 //	BenchmarkJitterFalsePositives— fault injection: delay-spike false-positive gap
+//	BenchmarkOverload            — overload sweep: graceful degradation past capacity
 //	BenchmarkFig8Squirrel        — Figure 8 (Squirrel traffic series)
 
 import (
@@ -237,6 +238,20 @@ func BenchmarkJitterFalsePositives(b *testing.B) {
 	b.ReportMetric(r.Hold[spike].Totals.IncorrectRate, "incorrect-hold")
 	b.ReportMetric(r.Naive[spike].Totals.IncorrectRate, "incorrect-naive")
 	b.ReportMetric(r.GapOrders(spike), "gap-orders")
+}
+
+func BenchmarkOverload(b *testing.B) {
+	cfg := experiments.DefaultOverloadConfig(benchScale())
+	cfg.Nodes = 40
+	cfg.Duration = 20 * time.Minute
+	cfg.Multiples = []float64{1, 5}
+	var r experiments.OverloadResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Overload(cfg)
+	}
+	b.ReportMetric(r.DegradationRatio(1, 5), "success-5x/1x")
+	b.ReportMetric(float64(r.Points[1].Res.Counters.RetryBudgetExhausted), "budget-denials-5x")
+	b.ReportMetric(float64(r.Points[1].Res.Counters.BreakerOpens), "breaker-opens-5x")
 }
 
 func BenchmarkFig8Squirrel(b *testing.B) {

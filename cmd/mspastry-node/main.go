@@ -42,6 +42,7 @@ import (
 	"mspastry/internal/admin"
 	"mspastry/internal/dht"
 	"mspastry/internal/id"
+	"mspastry/internal/overload"
 	"mspastry/internal/pastry"
 	objstore "mspastry/internal/store"
 	"mspastry/internal/telemetry"
@@ -62,8 +63,24 @@ func main() {
 		coalesceL = flag.Duration("coalesce-long", 0, "extended coalescing window for delay-tolerant messages (heartbeats, gossip); keep below the probe timeout")
 		status    = flag.Duration("status", 0, "print a status line at this interval (0 = off)")
 		dataDir   = flag.String("data-dir", "", "directory for the durable object store (empty = in-memory)")
+		inQueue   = flag.Int("inbound-queue", 0, "bound inbound work at this many messages, shedding lowest-priority-first (0 = unbounded)")
 	)
 	flag.Parse()
+
+	// A typo'd flag must die here with a clear message, not surface later
+	// as a wedged coalescer or a panicking queue constructor.
+	switch {
+	case *coalesce < 0:
+		log.Fatalf("-coalesce must be >= 0, got %v", *coalesce)
+	case *coalesceL < 0:
+		log.Fatalf("-coalesce-long must be >= 0, got %v", *coalesceL)
+	case *coalesceL > 0 && *coalesceL < *coalesce:
+		log.Fatalf("-coalesce-long (%v) must be >= -coalesce (%v)", *coalesceL, *coalesce)
+	case *status < 0:
+		log.Fatalf("-status must be >= 0, got %v", *status)
+	case *inQueue < 0:
+		log.Fatalf("-inbound-queue must be >= 0, got %d", *inQueue)
+	}
 
 	tr, err := transport.Listen(*listen, *seed)
 	if err != nil {
@@ -72,6 +89,7 @@ func main() {
 	defer tr.Close()
 	tr.SetCoalesceWindow(*coalesce)
 	tr.SetCoalesceLongWindow(*coalesceL)
+	tr.SetInboundQueue(*inQueue)
 
 	// One registry backs every view of this node: the Prometheus endpoint,
 	// the JSON status and the stdout status command.
@@ -265,16 +283,27 @@ func statusLoop(reg *telemetry.Registry, tr *transport.UDP, store *dht.Store, du
 
 // nodeStatus is the /status JSON shape (also behind the stdout command).
 type nodeStatus struct {
-	ID             string      `json:"id"`
-	Addr           string      `json:"addr"`
-	Active         bool        `json:"active"`
-	TrtSeconds     float64     `json:"trt_seconds"`
-	LeafLeft       []string    `json:"leaf_left"`
-	LeafRight      []string    `json:"leaf_right"`
-	RoutingEntries int         `json:"routing_entries"`
-	RoutingRows    [][]string  `json:"routing_rows"`
-	LocalObjects   int         `json:"local_objects"`
-	Store          storeStatus `json:"store"`
+	ID             string         `json:"id"`
+	Addr           string         `json:"addr"`
+	Active         bool           `json:"active"`
+	TrtSeconds     float64        `json:"trt_seconds"`
+	LeafLeft       []string       `json:"leaf_left"`
+	LeafRight      []string       `json:"leaf_right"`
+	RoutingEntries int            `json:"routing_entries"`
+	RoutingRows    [][]string     `json:"routing_rows"`
+	LocalObjects   int            `json:"local_objects"`
+	Store          storeStatus    `json:"store"`
+	Overload       overloadStatus `json:"overload"`
+}
+
+// overloadStatus reports the overload-protection layer on /status: the
+// inbound queue's per-lane shed counts, contained handler panics, and
+// the per-peer circuit breakers.
+type overloadStatus struct {
+	ShedByLane    map[string]uint64     `json:"shed_by_lane"`
+	HandlerPanics uint64                `json:"handler_panics"`
+	LoadFactor    float64               `json:"load_factor"`
+	Breakers      pastry.BreakerSummary `json:"breakers"`
 }
 
 // storeStatus reports the object-store backend on /status.
@@ -317,6 +346,16 @@ func statusSnapshot(tr *transport.UDP, store *dht.Store, durable bool) nodeStatu
 			s.RoutingRows = append(s.RoutingRows, ids)
 		}
 		s.LocalObjects = store.LocalObjects()
+		shed, panics := tr.OverloadStats()
+		s.Overload = overloadStatus{
+			ShedByLane:    make(map[string]uint64, len(shed)),
+			HandlerPanics: panics,
+			LoadFactor:    n.LoadFactor(),
+			Breakers:      n.Breakers(),
+		}
+		for lane, count := range shed {
+			s.Overload.ShedByLane[overload.Lane(lane).String()] = count
+		}
 		st := store.StoreStats()
 		s.Store = storeStatus{
 			Durable:       durable,
@@ -369,6 +408,14 @@ func printStatus(reg *telemetry.Registry, tr *transport.UDP, store *dht.Store, d
 		m["mspastry_dht_puts"], m["mspastry_dht_gets"], m["mspastry_dht_deletes"],
 		m["mspastry_dht_retries"], m["mspastry_dht_replicas_pushed"],
 		m["mspastry_dht_sync_rounds"], m["mspastry_dht_sync_keys_repaired"])
+	var shedTotal uint64
+	for _, c := range s.Overload.ShedByLane {
+		shedTotal += c
+	}
+	fmt.Printf("  overload: load=%.2f shed=%d panics=%d breakers open=%d half-open=%d tripping=%d budget_dry=%.0f\n",
+		s.Overload.LoadFactor, shedTotal, s.Overload.HandlerPanics,
+		s.Overload.Breakers.Open, s.Overload.Breakers.HalfOpen, s.Overload.Breakers.Tripping,
+		m["mspastry_node_retry_budget_exhausted"])
 	if s.Store.Durable {
 		fmt.Printf("  store: objects=%d tombstones=%d wal=%dB snapshot=%dB compactions=%d\n",
 			s.Store.Objects, s.Store.Tombstones, s.Store.WALBytes,

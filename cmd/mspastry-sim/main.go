@@ -29,6 +29,7 @@ import (
 
 	"mspastry/internal/harness"
 	"mspastry/internal/netmodel"
+	"mspastry/internal/overload"
 	"mspastry/internal/pastry"
 	"mspastry/internal/stats"
 	"mspastry/internal/telemetry"
@@ -56,6 +57,8 @@ func main() {
 
 		b        = flag.Int("b", 4, "identifier digit bits")
 		l        = flag.Int("l", 32, "leaf set size")
+		tls      = flag.Duration("tls", 0, "override the leaf-set heartbeat period Tls (0 = default)")
+		to       = flag.Duration("to", 0, "override the probe timeout To (0 = default)")
 		noAcks   = flag.Bool("no-acks", false, "disable per-hop acks")
 		noProbes = flag.Bool("no-probing", false, "disable routing-table liveness probing")
 		noTune   = flag.Bool("no-selftune", false, "disable self-tuning (use -trt)")
@@ -72,12 +75,52 @@ func main() {
 		reorder    = flag.Float64("reorder", 0, "message holdback (reordering) probability during the fault window")
 		reorderMax = flag.Duration("reorder-max", 100*time.Millisecond, "maximum holdback for reordered messages")
 
+		svcQueue = flag.Int("svc-queue", 0, "per-node service-capacity model: bounded receive queue length (0 = unbounded)")
+		svcRate  = flag.Float64("svc-rate", 0, "per-node service-capacity model: messages processed per second (0 = infinite)")
+
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		metricsDump = flag.String("metrics-dump", "", "write the telemetry registry in Prometheus text format at exit (\"-\" for stdout)")
 		traceLook   = flag.Bool("trace-lookups", false, "record per-lookup hop traces and print route statistics")
 	)
 	flag.Parse()
+
+	// Reject nonsense before it turns into a wedged run: a negative
+	// window silently disables coalescing flushes, a zero To makes every
+	// probe time out instantly, and a lone -svc-queue or -svc-rate gives
+	// a capacity model with either no bound or no drain.
+	switch {
+	case *topoDiv < 1 || *traceDiv < 1:
+		log.Fatalf("-topo-div and -trace-div must be >= 1")
+	case *maxDur < 0:
+		log.Fatalf("-max-dur must be >= 0, got %v", *maxDur)
+	case *session <= 0 || *duration <= 0 || *nodes < 1:
+		log.Fatalf("-session and -duration must be positive and -nodes >= 1")
+	case *loss < 0 || *loss >= 1:
+		log.Fatalf("-loss %g outside [0,1)", *loss)
+	case *coalesce < 0:
+		log.Fatalf("-coalesce must be >= 0, got %v", *coalesce)
+	case *coalesceL < 0:
+		log.Fatalf("-coalesce-long must be >= 0, got %v", *coalesceL)
+	case *coalesceL > 0 && *coalesceL < *coalesce:
+		log.Fatalf("-coalesce-long (%v) must be >= -coalesce (%v)", *coalesceL, *coalesce)
+	case *lookups < 0:
+		log.Fatalf("-lookups must be >= 0, got %g", *lookups)
+	case *window <= 0:
+		log.Fatalf("-window must be positive, got %v", *window)
+	case *ramp < 0:
+		log.Fatalf("-ramp must be >= 0, got %v", *ramp)
+	case *tls < 0 || *to < 0:
+		log.Fatalf("-tls and -to overrides must be positive (0 = keep default)")
+	case *noTune && *fixedTrt <= 0:
+		log.Fatalf("-trt must be positive with -no-selftune, got %v", *fixedTrt)
+	case *targetLr <= 0 || *targetLr >= 1:
+		log.Fatalf("-target-lr %g outside (0,1)", *targetLr)
+	case (*svcQueue > 0) != (*svcRate > 0):
+		log.Fatalf("-svc-queue and -svc-rate must be set together (got queue=%d rate=%g)", *svcQueue, *svcRate)
+	case *svcQueue < 0 || *svcRate < 0:
+		log.Fatalf("-svc-queue and -svc-rate must be >= 0")
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -119,10 +162,19 @@ func main() {
 	pcfg.FixedTrt = *fixedTrt
 	pcfg.TargetRawLoss = *targetLr
 	pcfg.PNS = !*noPNS
+	if *tls > 0 {
+		pcfg.Tls = *tls
+	}
+	if *to > 0 {
+		pcfg.To = *to
+	}
 
 	cfg := harness.DefaultConfig(topo, tr)
 	cfg.Pastry = pcfg
 	cfg.NetworkLoss = *loss
+	if *svcQueue > 0 {
+		cfg.Service = netmodel.ServiceModel{QueueLimit: *svcQueue, Rate: *svcRate}
+	}
 	cfg.CoalesceWindow = *coalesce
 	cfg.CoalesceLongWindow = *coalesceL
 	cfg.LookupRate = *lookups
@@ -204,6 +256,15 @@ func main() {
 		fmt.Printf("  %s=%d", c, res.DropsByCause[c])
 	}
 	fmt.Println()
+	if cfg.Service.QueueLimit > 0 {
+		fmt.Printf("service sheds by lane:")
+		for l := overload.Lane(0); l < overload.NumLanes; l++ {
+			fmt.Printf("  %s=%d", l, res.ShedByLane[l])
+		}
+		fmt.Printf("  budget_dry=%d breaker_opens=%d breaker_reopens=%d breaker_closes=%d\n",
+			res.Counters.RetryBudgetExhausted, res.Counters.BreakerOpens,
+			res.Counters.BreakerReopens, res.Counters.BreakerCloses)
+	}
 	if cfg.Faults != nil {
 		fmt.Printf("fault counters: duplicated=%d reordered=%d peakRetx=%.4f/node/s\n",
 			res.FaultCounts.Duplicated, res.FaultCounts.Reordered, t.PeakRetxPerNodeSec)

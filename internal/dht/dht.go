@@ -48,6 +48,12 @@ type Config struct {
 	// pushes instead of Merkle anti-entropy. Kept as the bandwidth
 	// baseline for experiments; production should leave it off.
 	FullPushSweep bool
+	// SyncLoadThreshold defers a sweep when the transport's inbound load
+	// factor (pastry.LoadSampler) is at or above this value: anti-entropy
+	// is deferrable soft-state maintenance, and running it while the node
+	// is already saturated only deepens the overload. Zero disables the
+	// gate; the deferred sweep re-arms at the usual interval.
+	SyncLoadThreshold float64
 }
 
 // DefaultConfig returns k=3 replication with 30-second anti-entropy
@@ -102,6 +108,9 @@ type Counters struct {
 	// Sweeps counts replica responsibility sweeps; SweepHandoffs counts
 	// objects dropped after handing responsibility to the current root.
 	Sweeps, SweepHandoffs uint64
+	// SweepsDeferred counts sweeps skipped because the transport's inbound
+	// load was at or above Config.SyncLoadThreshold.
+	SweepsDeferred uint64
 	// HandoffOffers counts digest-first handoff offers sent.
 	HandoffOffers uint64
 	// SyncRounds counts anti-entropy exchanges started; SyncClean counts
@@ -434,6 +443,10 @@ func (s *Store) armSweep() {
 // current root and drops its copy once answered.
 func (s *Store) sweep() {
 	if !s.node.Active() {
+		return
+	}
+	if s.cfg.SyncLoadThreshold > 0 && s.node.LoadFactor() >= s.cfg.SyncLoadThreshold {
+		s.counters.SweepsDeferred++
 		return
 	}
 	s.counters.Sweeps++

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"mspastry/internal/overload"
+)
+
+// TestOverloadDegradesGracefully pins the headline overload claim: at 5×
+// the base application load — past the service model's comfortable
+// region — lookup success stays within 80% of the 1× baseline, and the
+// liveness lane is never shed (the failure detector keeps its traffic
+// under overload, so the overlay degrades instead of collapsing).
+func TestOverloadDegradesGracefully(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two 24-minute simulated overload runs")
+	}
+	s := Quick()
+	cfg := DefaultOverloadConfig(s)
+	cfg.Nodes = 40
+	cfg.Duration = 24 * time.Minute
+	cfg.Multiples = []float64{1, 5}
+	r := Overload(cfg)
+
+	base, loaded := r.Points[0], r.Points[1]
+	t.Logf("1x: success=%.4f sheds=%v | 5x: success=%.4f sheds=%v budgetHit=%d brkOpens=%d",
+		base.SuccessRate, base.Res.ShedByLane,
+		loaded.SuccessRate, loaded.Res.ShedByLane,
+		loaded.Res.Counters.RetryBudgetExhausted, loaded.Res.Counters.BreakerOpens)
+
+	if ratio := r.DegradationRatio(1, 5); ratio < 0.8 {
+		t.Fatalf("success at 5x degraded to %.2f of baseline (want >= 0.80)", ratio)
+	}
+	if got := loaded.Res.ShedByLane[overload.LaneLiveness]; got != 0 {
+		t.Fatalf("liveness lane shed %d messages under overload; must be 0", got)
+	}
+}

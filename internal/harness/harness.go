@@ -13,6 +13,7 @@ import (
 	"mspastry/internal/eventsim"
 	"mspastry/internal/id"
 	"mspastry/internal/netmodel"
+	"mspastry/internal/overload"
 	"mspastry/internal/pastry"
 	"mspastry/internal/stats"
 	"mspastry/internal/telemetry"
@@ -52,6 +53,10 @@ type Config struct {
 	// LossTimeout is how long a lookup may remain undelivered before it
 	// counts as lost.
 	LossTimeout time.Duration
+	// Service bounds every endpoint's receive capacity (queue limit and
+	// processing rate); see netmodel.ServiceModel. The zero value keeps
+	// the classic infinite-capacity model.
+	Service netmodel.ServiceModel
 	// Faults is an optional scripted fault scenario (partitions, jitter,
 	// delay spikes, duplication, reordering, per-link loss) applied on
 	// top of the uniform loss model. Event times are measured times.
@@ -98,6 +103,9 @@ type Result struct {
 	DropsByCause [netmodel.NumDropCauses]uint64
 	// FaultCounts tallies injected duplication and reordering.
 	FaultCounts netmodel.FaultCounters
+	// ShedByLane counts service-model queue sheds per priority lane (all
+	// zero without Config.Service).
+	ShedByLane [overload.NumLanes]uint64
 	// Phases splits lookup outcomes into before/during/after the fault
 	// window (zero value when no fault script was set).
 	Phases stats.PhaseTotals
@@ -200,6 +208,7 @@ func newRun(cfg Config) *run {
 	}
 	nw.SetCoalesceWindow(cfg.CoalesceWindow)
 	nw.SetCoalesceLongWindow(cfg.CoalesceLongWindow)
+	nw.SetServiceModel(cfg.Service)
 	nw.OnSend(func(from *netmodel.Endpoint, to pastry.NodeRef, m pastry.Message, singleBytes int) {
 		t := r.measured()
 		r.col.MsgSent(t, m.Category(), singleBytes)
@@ -268,6 +277,7 @@ func (r *run) execute() Result {
 		NetworkDrops:  r.nw.Drops,
 		DropsByCause:  r.nw.DropsByCause,
 		FaultCounts:   r.nw.FaultCounts,
+		ShedByLane:    r.nw.ShedByLane,
 		Phases:        r.col.Phases(),
 		Recovery:      r.recovery,
 		SimEvents:     r.sim.Steps(),
@@ -353,6 +363,10 @@ func (r *run) absorbCounters(n *pastry.Node) {
 	r.counters.Retransmits += c.Retransmits
 	r.counters.FalsePositives += c.FalsePositives
 	r.counters.DeliveredLookups += c.DeliveredLookups
+	r.counters.RetryBudgetExhausted += c.RetryBudgetExhausted
+	r.counters.BreakerOpens += c.BreakerOpens
+	r.counters.BreakerReopens += c.BreakerReopens
+	r.counters.BreakerCloses += c.BreakerCloses
 }
 
 func (r *run) randomActiveRef() (pastry.NodeRef, bool) {

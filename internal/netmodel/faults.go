@@ -35,6 +35,9 @@ const (
 	// with a new node identity; the message was addressed to the dead
 	// instance.
 	DropStaleIdentity
+	// DropOverload means the destination's bounded service queue shed the
+	// message (or a lower-priority one to admit it); see ServiceModel.
+	DropOverload
 	// NumDropCauses sizes dense per-cause arrays.
 	NumDropCauses
 )
@@ -53,6 +56,8 @@ func (c DropCause) String() string {
 		return "dead-endpoint"
 	case DropStaleIdentity:
 		return "stale-identity"
+	case DropOverload:
+		return "overload"
 	default:
 		return fmt.Sprintf("DropCause(%d)", int(c))
 	}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"mspastry/internal/eventsim"
+	"mspastry/internal/overload"
 	"mspastry/internal/pastry"
 	"mspastry/internal/topology"
 	"mspastry/internal/wire"
@@ -73,7 +74,36 @@ type Network struct {
 	Frames      uint64
 	FrameBytes  uint64
 	SingleBytes uint64
+
+	// svc bounds per-endpoint processing capacity; the zero value leaves
+	// delivery unbounded (byte-for-byte the pre-overload behaviour).
+	svc ServiceModel
+	// ShedByLane counts messages shed by bounded service queues, by the
+	// priority lane the shed message belonged to.
+	ShedByLane [overload.NumLanes]uint64
 }
+
+// ServiceModel bounds each endpoint's message-processing capacity: at
+// most QueueLimit messages wait in a per-node priority queue (shedding
+// lowest-priority-first on overflow; see package overload) and the bound
+// node consumes them at Rate messages per second. The zero value
+// disables the model entirely — messages deliver the moment they arrive,
+// exactly as before the model existed — so overload is opt-in and
+// existing experiments reproduce bit-for-bit.
+type ServiceModel struct {
+	// QueueLimit is the receive-queue bound in messages; <= 0 disables
+	// the model.
+	QueueLimit int
+	// Rate is the processing rate in messages per second; <= 0 disables
+	// the model.
+	Rate float64
+}
+
+func (sm ServiceModel) enabled() bool { return sm.QueueLimit > 0 && sm.Rate > 0 }
+
+// SetServiceModel installs the per-node service-capacity model. Set it
+// before traffic starts.
+func (nw *Network) SetServiceModel(sm ServiceModel) { nw.svc = sm }
 
 // New creates a network over the given simulator and topology with a
 // uniform message loss probability in [0,1).
@@ -124,6 +154,19 @@ type Endpoint struct {
 	node  *pastry.Node
 	up    bool
 	co    *wire.Coalescer
+
+	// Service-capacity state (nil/false while the model is disabled):
+	// the bounded inbound lane queue and whether a processing slot is
+	// scheduled.
+	svcQ    *overload.Queue
+	svcBusy bool
+}
+
+// svcItem is one queued inbound message; to pins the destination
+// incarnation so queue-time churn is detected at processing time.
+type svcItem struct {
+	to pastry.NodeRef
+	m  pastry.Message
 }
 
 // NewEndpoint wires a new endpoint to topology attachment point index.
@@ -162,7 +205,8 @@ func (ep *Endpoint) Bind(n *pastry.Node) {
 
 // Fail crashes the endpoint's node and stops delivery to it. Messages
 // still waiting for the coalescing window are discarded: a crashed node
-// sends nothing.
+// sends nothing. Messages still waiting in the service queue die with
+// the node.
 func (ep *Endpoint) Fail() {
 	ep.up = false
 	if ep.node != nil {
@@ -170,6 +214,9 @@ func (ep *Endpoint) Fail() {
 	}
 	if ep.co != nil {
 		ep.co.DiscardAll()
+	}
+	if ep.svcQ != nil {
+		ep.nw.dropN(DropDeadEndpoint, ep.svcQ.Drain())
 	}
 }
 
@@ -334,7 +381,7 @@ func (nw *Network) deliverAfter(dst *Endpoint, to pastry.NodeRef, single pastry.
 			return
 		}
 		if batch == nil {
-			dst.node.Receive(copyForDelivery(single))
+			dst.accept(to, single)
 			return
 		}
 		for _, m := range batch {
@@ -344,9 +391,72 @@ func (nw *Network) deliverAfter(dst *Endpoint, to pastry.NodeRef, single pastry.
 				nw.dropN(DropDeadEndpoint, 1)
 				continue
 			}
-			dst.node.Receive(copyForDelivery(m))
+			dst.accept(to, m)
 		}
 	})
+}
+
+// accept hands one arrived message to the destination node: immediately
+// when the service model is off, through the bounded priority queue and
+// the node's processing rate when it is on.
+func (ep *Endpoint) accept(to pastry.NodeRef, m pastry.Message) {
+	nw := ep.nw
+	if !nw.svc.enabled() {
+		ep.node.Receive(copyForDelivery(m))
+		return
+	}
+	if ep.svcQ == nil {
+		ep.svcQ = overload.NewQueue(nw.svc.QueueLimit)
+	}
+	if shed := ep.svcQ.Push(pastry.LaneOf(m), svcItem{to: to, m: m}); shed >= 0 {
+		nw.ShedByLane[shed]++
+		nw.dropN(DropOverload, 1)
+	}
+	ep.startService()
+}
+
+// startService arms the next processing slot if work is queued and none
+// is scheduled. Each message occupies the node for 1/Rate seconds.
+func (ep *Endpoint) startService() {
+	if ep.svcBusy || ep.svcQ == nil || ep.svcQ.Len() == 0 {
+		return
+	}
+	ep.svcBusy = true
+	interval := time.Duration(float64(time.Second) / ep.nw.svc.Rate)
+	ep.nw.sim.After(interval, ep.serviceOne)
+}
+
+// serviceOne completes one processing slot: the highest-priority queued
+// message is delivered (churn between queueing and processing is
+// re-checked) and the next slot is armed if work remains.
+func (ep *Endpoint) serviceOne() {
+	ep.svcBusy = false
+	if ep.svcQ == nil {
+		return
+	}
+	v, _, ok := ep.svcQ.Pop()
+	if !ok {
+		return
+	}
+	it := v.(svcItem)
+	switch {
+	case !ep.up || ep.node == nil:
+		ep.nw.dropN(DropDeadEndpoint, 1)
+	case ep.node.Ref().ID != it.to.ID:
+		ep.nw.dropN(DropStaleIdentity, 1)
+	default:
+		ep.node.Receive(copyForDelivery(it.m))
+	}
+	ep.startService()
+}
+
+// LoadFactor implements pastry.LoadSampler: current service-queue
+// occupancy in [0,1]; 0 while the service model is disabled.
+func (ep *Endpoint) LoadFactor() float64 {
+	if ep.svcQ == nil {
+		return 0
+	}
+	return ep.svcQ.LoadFactor()
 }
 
 // copyForDelivery clones mutable routed payloads (lookup/join envelopes);

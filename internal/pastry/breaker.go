@@ -1,0 +1,183 @@
+package pastry
+
+import (
+	"time"
+
+	"mspastry/internal/id"
+	"mspastry/internal/overload"
+)
+
+// Per-peer circuit breakers and retry budgets (overload protection).
+//
+// Both the failure and the success signal are per-hop acks: a missed
+// ack (hopTimeout) is a strike, an ack closes the breaker. Acks are the
+// only signal that tracks whether a peer is actually servicing routed
+// traffic — an overloaded node still answers lightweight probes
+// promptly (liveness traffic rides the highest-priority lane precisely
+// so that overload does not look like death), so probe replies MUST NOT
+// close a breaker: that would reopen the floodgates onto a peer that is
+// alive but drowning, and the breaker would flap on every
+// timeout/probe-reply pair.
+//
+// BreakerThreshold consecutive misses open the breaker: the peer is
+// excluded from next-hop selection immediately (fast-fail), so lookups
+// re-route around it instead of burning a retransmission timeout per
+// message. When the cooldown expires the breaker goes half-open (lazily,
+// at the next routing decision that considers the peer) and regular
+// traffic is admitted again as the trial: an ack closes the breaker, a
+// missed ack reopens it with a doubled cooldown, up to BreakerMaxCooldown.
+// The regular failure detector keeps running independently — probes
+// still flow while the breaker is open — so a genuinely dead peer is
+// still marked faulty and handed to the reconnect cache through the
+// usual machinery; marking faulty clears the breaker record.
+//
+// The retry budget is a per-peer token bucket charged only for repeat
+// sends to the same peer: backed-off per-hop retransmissions and probe
+// retries. First transmissions and re-routes to other peers are free, so
+// exhausting a peer's budget redirects pressure rather than losing work.
+
+// breakerDenies reports whether the peer's circuit is open, so regular
+// traffic must route around it. An open breaker whose cooldown has
+// expired transitions to half-open here — admitting this very routing
+// decision as the recovery trial.
+func (n *Node) breakerDenies(x id.ID) bool {
+	if n.cfg.BreakerThreshold <= 0 || len(n.breakers) == 0 {
+		return false
+	}
+	b, ok := n.breakers[x]
+	if !ok {
+		return false
+	}
+	if b.Ready(n.env.Now()) {
+		b.HalfOpen()
+	}
+	return b.Denies()
+}
+
+// breakerFailure records a missed per-hop ack against the peer.
+func (n *Node) breakerFailure(ref NodeRef) {
+	if n.cfg.BreakerThreshold <= 0 {
+		return
+	}
+	b := n.breakers[ref.ID]
+	if b == nil {
+		b = &overload.Breaker{
+			Threshold:   n.cfg.BreakerThreshold,
+			Cooldown:    n.cfg.BreakerCooldown,
+			MaxCooldown: n.cfg.BreakerMaxCooldown,
+		}
+		n.breakers[ref.ID] = b
+	}
+	wasHalfOpen := b.State() == overload.BreakerHalfOpen
+	if b.Failure(n.env.Now()) {
+		if wasHalfOpen {
+			n.counters.BreakerReopens++
+		} else {
+			n.counters.BreakerOpens++
+		}
+	}
+}
+
+// breakerSuccess records direct evidence the peer is servicing routed
+// traffic — a per-hop ack, and only that (see the package comment on
+// why probe replies do not qualify). sentAt is when the acked hop was
+// transmitted: the breaker discards acks for hops sent before it last
+// opened, so straggling pre-storm acks cannot close it.
+func (n *Node) breakerSuccess(x id.ID, sentAt time.Duration) {
+	if len(n.breakers) == 0 {
+		return
+	}
+	b, ok := n.breakers[x]
+	if !ok {
+		return
+	}
+	if b.Success(sentAt) {
+		n.counters.BreakerCloses++
+	}
+}
+
+// dropBreaker discards the peer's breaker and budget state; called when
+// the peer is marked faulty (the reconnect cache owns it from there) and
+// from eviction paths.
+func (n *Node) dropBreaker(x id.ID) {
+	delete(n.breakers, x)
+	delete(n.retryBudget, x)
+}
+
+// retryAllowed charges one token from the peer's retry budget, reporting
+// whether the repeat send may proceed. With budgets disabled it always
+// allows.
+func (n *Node) retryAllowed(x id.ID) bool {
+	if n.cfg.RetryBudgetRate <= 0 {
+		return true
+	}
+	now := n.env.Now()
+	tb := n.retryBudget[x]
+	if tb == nil {
+		tb = overload.NewTokenBucket(n.cfg.RetryBudgetRate, float64(n.cfg.RetryBudgetBurst), now)
+		n.retryBudget[x] = tb
+	}
+	if !tb.Take(now) {
+		n.counters.RetryBudgetExhausted++
+		return false
+	}
+	return true
+}
+
+// pruneOverloadState drops idle overload-protection records so the maps
+// track only peers under active suspicion: full (fully refilled) budget
+// buckets, closed breakers with no strikes, and half-open breakers no
+// traffic has tried for a full maximum cooldown carry no information.
+func (n *Node) pruneOverloadState(now time.Duration) {
+	for x, tb := range n.retryBudget {
+		if tb.Full(now) {
+			delete(n.retryBudget, x)
+		}
+	}
+	for x, b := range n.breakers {
+		if (b.State() == overload.BreakerClosed && b.Failures() == 0) || b.Stale(now) {
+			delete(n.breakers, x)
+		}
+	}
+}
+
+// BreakerSummary counts this node's peer circuit breakers by state.
+type BreakerSummary struct {
+	Open     int `json:"open"`
+	HalfOpen int `json:"half_open"`
+	Tripping int `json:"tripping"` // closed but with recorded strikes
+}
+
+// Breakers returns a snapshot of breaker states for status reporting.
+func (n *Node) Breakers() BreakerSummary {
+	var s BreakerSummary
+	for _, b := range n.breakers {
+		switch b.State() {
+		case overload.BreakerOpen:
+			s.Open++
+		case overload.BreakerHalfOpen:
+			s.HalfOpen++
+		default:
+			s.Tripping++
+		}
+	}
+	return s
+}
+
+// LoadSampler is an optional Env extension: transports that bound their
+// inbound work (the simulator's service-capacity model, the UDP
+// transport's inbound lane queue) report current occupancy in [0,1], so
+// protocol layers above (the DHT's anti-entropy scheduler) can defer
+// deferrable work under load.
+type LoadSampler interface {
+	LoadFactor() float64
+}
+
+// LoadFactor reports the transport's current inbound load in [0,1]; 0
+// when the Env does not implement LoadSampler or nothing is queued.
+func (n *Node) LoadFactor() float64 {
+	if ls, ok := n.env.(LoadSampler); ok {
+		return ls.LoadFactor()
+	}
+	return 0
+}

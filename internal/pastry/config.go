@@ -95,6 +95,30 @@ type Config struct {
 	// LookupTTL bounds the number of overlay hops (routing loops are
 	// impossible in a consistent state; the TTL guards churn races).
 	LookupTTL int
+
+	// RetryBudgetRate caps retransmission and probe-retry traffic per
+	// peer with a token bucket refilling at this many tokens per second.
+	// A struggling peer then triggers re-routing around it instead of an
+	// exponential retransmission storm (first transmissions and re-routes
+	// to other peers are never budgeted — only repeat sends to the same
+	// peer are). 0 disables retry budgets.
+	RetryBudgetRate float64
+	// RetryBudgetBurst is the bucket depth: how many budgeted sends to
+	// one peer may happen back to back before the rate limit bites.
+	RetryBudgetBurst int
+
+	// BreakerThreshold is the number of consecutive per-hop ack failures
+	// after which a peer's circuit breaker opens: the peer is fast-failed
+	// and routed around until a recovery probe succeeds. 0 disables
+	// circuit breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how long an opened breaker waits before probing
+	// the peer (half-open); each failed recovery probe doubles the wait
+	// up to BreakerMaxCooldown.
+	BreakerCooldown time.Duration
+	// BreakerMaxCooldown caps the doubling backoff between recovery
+	// probes.
+	BreakerMaxCooldown time.Duration
 }
 
 // DefaultConfig returns the paper's base configuration: b=4, l=32,
@@ -129,6 +153,11 @@ func DefaultConfig() Config {
 		ReconnectCacheSize:   32,
 		TickInterval:         15 * time.Second,
 		LookupTTL:            64,
+		RetryBudgetRate:      2,
+		RetryBudgetBurst:     8,
+		BreakerThreshold:     3,
+		BreakerCooldown:      3 * time.Second,
+		BreakerMaxCooldown:   time.Minute,
 	}
 }
 
@@ -159,6 +188,16 @@ func (c Config) Validate() error {
 		return fmt.Errorf("pastry: TickInterval must be positive")
 	case c.LookupTTL < 1:
 		return fmt.Errorf("pastry: LookupTTL must be >= 1")
+	case c.RetryBudgetRate < 0:
+		return fmt.Errorf("pastry: RetryBudgetRate negative")
+	case c.RetryBudgetRate > 0 && c.RetryBudgetBurst < 1:
+		return fmt.Errorf("pastry: RetryBudgetBurst must be >= 1 with a retry budget")
+	case c.BreakerThreshold < 0:
+		return fmt.Errorf("pastry: BreakerThreshold negative")
+	case c.BreakerThreshold > 0 && c.BreakerCooldown <= 0:
+		return fmt.Errorf("pastry: BreakerCooldown must be positive with breakers enabled")
+	case c.BreakerThreshold > 0 && c.BreakerMaxCooldown < c.BreakerCooldown:
+		return fmt.Errorf("pastry: BreakerMaxCooldown below BreakerCooldown")
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mspastry/internal/id"
+	"mspastry/internal/overload"
 )
 
 // Node is one MSPastry overlay node. It is driven entirely by its Env:
@@ -37,6 +38,12 @@ type Node struct {
 	probing  map[id.ID]*probeState
 	failed   map[id.ID]NodeRef
 	excluded map[id.ID]bool
+
+	// breakers holds per-peer circuit breakers (fast-fail on consecutive
+	// missed acks); retryBudget holds per-peer token buckets charged for
+	// repeat sends to the same peer. See breaker.go.
+	breakers    map[id.ID]*overload.Breaker
+	retryBudget map[id.ID]*overload.TokenBucket
 
 	// graveyard remembers recently purged peers for slow re-probing, so
 	// the overlay can re-merge after a long partition (see reconnect.go).
@@ -119,6 +126,13 @@ type Counters struct {
 	FalsePositives uint64
 	// DeliveredLookups counts lookups delivered by this node as root.
 	DeliveredLookups uint64
+	// RetryBudgetExhausted counts repeat sends suppressed because the
+	// destination peer's retry budget ran dry.
+	RetryBudgetExhausted uint64
+	// BreakerOpens counts circuit breakers tripped by consecutive missed
+	// acks; BreakerReopens counts failed half-open recovery trials;
+	// BreakerCloses counts recoveries (breakers closed by a success).
+	BreakerOpens, BreakerReopens, BreakerCloses uint64
 }
 
 type probeState struct {
@@ -184,6 +198,8 @@ func NewNode(self NodeRef, cfg Config, env Env, obs Observer) (*Node, error) {
 		distSeqs:          make(map[uint64]*distSession),
 		distProbed:        make(map[id.ID]time.Duration),
 		lsCandidateProbed: make(map[id.ID]time.Duration),
+		breakers:          make(map[id.ID]*overload.Breaker),
+		retryBudget:       make(map[id.ID]*overload.TokenBucket),
 	}
 	n.tobs, _ = obs.(TraceObserver)
 	n.sobs, _ = obs.(StatsObserver)
@@ -580,6 +596,7 @@ func (n *Node) pruneHints() {
 			delete(n.lastRepair, x)
 		}
 	}
+	n.pruneOverloadState(now)
 }
 
 // holdLookup buffers a lookup the node cannot deliver or route yet.

@@ -110,7 +110,14 @@ func (n *Node) probeTimeout(ps *probeState) {
 	}
 	if ps.retries < n.cfg.MaxProbeRetries {
 		ps.retries++
-		n.sendProbeMsg(ps)
+		// Probe retries draw on the peer's retry budget: under overload a
+		// storm of simultaneous suspicions would otherwise multiply every
+		// timeout into MaxProbeRetries extra packets. A suppressed resend
+		// keeps the timer machinery running, so the verdict arrives on the
+		// same schedule either way — the peer just is not re-pinged.
+		if n.retryAllowed(ps.ref.ID) {
+			n.sendProbeMsg(ps)
+		}
 		n.armProbeTimer(ps)
 		return
 	}
@@ -138,6 +145,9 @@ func (n *Node) markFaulty(ref NodeRef, announce bool) {
 	n.rememberFailed(ref)
 	delete(n.excluded, ref.ID)
 	delete(n.trtHints, ref.ID)
+	// The reconnect cache owns the peer now; breaker and budget state
+	// would only shadow it.
+	n.dropBreaker(ref.ID)
 	n.recordFailure(n.env.Now())
 	if announce && wasLeaf && n.active {
 		if n.sobs != nil {
@@ -306,7 +316,11 @@ func (n *Node) handleLSProbe(p *LSProbe) {
 	n.send(p.From, reply)
 }
 
-// handleLSProbeReply implements RECEIVE(LS-PROBE-REPLY).
+// handleLSProbeReply implements RECEIVE(LS-PROBE-REPLY). A reply proves
+// the peer is alive — the exclusion lifts — but deliberately does not
+// touch its circuit breaker: probes ride the liveness lane, so an
+// overloaded peer answers them while still shedding routed traffic (see
+// breaker.go).
 func (n *Node) handleLSProbeReply(p *LSProbeReply) {
 	delete(n.excluded, p.From.ID)
 	n.processLeafInfo(p.From, append(p.Leaves, p.Near...), p.Failed)
@@ -402,7 +416,9 @@ func (n *Node) nearestKnown(target id.ID, k int) []NodeRef {
 	return all[:k]
 }
 
-// handleRTProbeReply completes a liveness probe.
+// handleRTProbeReply completes a liveness probe. Like leaf-set probe
+// replies, it clears the exclusion but not the circuit breaker: liveness
+// and serviceability are separate questions under overload.
 func (n *Node) handleRTProbeReply(p *RTProbeReply) {
 	delete(n.excluded, p.From.ID)
 	n.lastLiveness[p.From.ID] = n.env.Now()

@@ -10,13 +10,19 @@ const maxTrt = time.Hour
 
 // isExcluded reports whether a node must be routed around: it has been
 // marked faulty, or it is temporarily excluded after a missed per-hop ack,
-// or it was already tried for this particular message.
+// or its circuit breaker is open (fast-fail: consecutive missed acks mean
+// the peer is overloaded or dead, so traffic reroutes immediately instead
+// of paying a retransmission timeout per message), or it was already
+// tried for this particular message.
 func (n *Node) isExcluded(tried map[id.ID]bool) func(id.ID) bool {
 	return func(x id.ID) bool {
 		if n.excluded[x] {
 			return true
 		}
 		if _, bad := n.failed[x]; bad {
+			return true
+		}
+		if n.breakerDenies(x) {
 			return true
 		}
 		return tried != nil && tried[x]
@@ -164,6 +170,7 @@ func (n *Node) hopTimeout(xfer uint64) {
 	delete(n.pending, xfer)
 	n.counters.Retransmits++
 	n.excluded[ph.to.ID] = true
+	n.breakerFailure(ph.to)
 	n.suspect(ph.to)
 	ph.attempts++
 	if ph.attempts >= n.cfg.MaxRouteAttempts {
@@ -222,8 +229,18 @@ func (n *Node) reroute(ph *pendingHop) {
 }
 
 // retransmitSame re-sends the hop to its previous destination with an
-// exponentially backed-off timeout.
+// exponentially backed-off timeout, charged against the destination's
+// retry budget: once the budget runs dry the lookup is parked in the
+// hold buffer instead (released when the suspect's probe resolves), so
+// a struggling peer sees a bounded retransmission rate rather than an
+// exponential storm of backoff copies from every held message.
 func (n *Node) retransmitSame(ph *pendingHop) {
+	if !n.retryAllowed(ph.to.ID) {
+		if ph.lookup != nil {
+			n.holdLookup(ph.lookup)
+		}
+		return
+	}
 	n.nextXfer++
 	xfer := n.nextXfer
 	env := &Envelope{
@@ -291,6 +308,7 @@ func (n *Node) handleAck(ack *Ack) {
 	if ph.timer != nil {
 		ph.timer.Cancel()
 	}
+	n.breakerSuccess(ph.to.ID, ph.sentAt)
 	if !ph.retx {
 		est := n.rto[ph.to.ID]
 		if est == nil {
@@ -316,7 +334,7 @@ func (n *Node) closerExcludedExists(k id.ID, tried map[id.ID]bool) bool {
 		return false
 	}
 	for _, m := range n.ls.Members() {
-		if !n.excluded[m.ID] && !tried[m.ID] {
+		if !n.excluded[m.ID] && !tried[m.ID] && !n.breakerDenies(m.ID) {
 			continue
 		}
 		if _, bad := n.failed[m.ID]; bad {

@@ -181,4 +181,12 @@ func RecordNodeCounters(reg *Registry, c pastry.Counters) {
 		"Nodes marked faulty that later proved alive.", c.FalsePositives)
 	set("mspastry_node_delivered_lookups",
 		"Lookups delivered as root (node counter).", c.DeliveredLookups)
+	set("mspastry_node_retry_budget_exhausted",
+		"Retransmissions suppressed by the per-peer retry budget.", c.RetryBudgetExhausted)
+	set("mspastry_node_breaker_opens",
+		"Per-peer circuit breakers tripped open.", c.BreakerOpens)
+	set("mspastry_node_breaker_reopens",
+		"Half-open breaker probes that failed and reopened the breaker.", c.BreakerReopens)
+	set("mspastry_node_breaker_closes",
+		"Breakers closed by a successful interaction.", c.BreakerCloses)
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"mspastry/internal/dht"
+	"mspastry/internal/overload"
 	"mspastry/internal/pastry"
 	"mspastry/internal/store"
 )
@@ -37,6 +38,8 @@ type TransportMetrics struct {
 	flushHold     *Histogram
 	sendErrors    *Counter
 	decodeError   *Counter
+	shedMsgs      *CounterVec
+	panics        *Counter
 }
 
 // NewTransportMetrics registers the transport metric families in reg.
@@ -66,6 +69,10 @@ func NewTransportMetrics(reg *Registry) *TransportMetrics {
 			"Failed sends: unresolvable addresses, oversized messages, socket errors."),
 		decodeError: reg.Counter("mspastry_transport_decode_errors_total",
 			"Malformed frames, and malformed messages inside otherwise valid batches."),
+		shedMsgs: reg.CounterVec("mspastry_transport_msgs_shed_total",
+			"Messages shed by the bounded inbound queue, by priority lane.", "lane"),
+		panics: reg.Counter("mspastry_transport_handler_panics_total",
+			"Message-handler panics contained by the receive loop."),
 	}
 }
 
@@ -103,6 +110,14 @@ func (m *TransportMetrics) SendError() { m.sendErrors.Inc() }
 // DecodeError implements transport.MetricsSink.
 func (m *TransportMetrics) DecodeError() { m.decodeError.Inc() }
 
+// MsgShed implements transport.MetricsSink.
+func (m *TransportMetrics) MsgShed(lane overload.Lane) {
+	m.shedMsgs.With(lane.String()).Inc()
+}
+
+// HandlerPanic implements transport.MetricsSink.
+func (m *TransportMetrics) HandlerPanic() { m.panics.Inc() }
+
 // RecordDHTCounters copies a DHT store's tallies into the registry as
 // gauges (put/get outcomes, end-to-end retries, replica pushes, sweeps).
 // Run it from a Registry.OnCollect hook so every scrape sees fresh values.
@@ -124,6 +139,7 @@ func RecordDHTCounters(reg *Registry, c dht.Counters, localObjects int) {
 	set("mspastry_dht_replicas_pushed", "Full-value replica pushes to leaf-set neighbours.", float64(c.ReplicasPushed))
 	set("mspastry_dht_replicas_applied", "Incoming replica values that changed local state.", float64(c.ReplicasApplied))
 	set("mspastry_dht_sweeps", "Replica responsibility sweeps run.", float64(c.Sweeps))
+	set("mspastry_dht_sweeps_deferred", "Sweeps skipped because the transport was overloaded.", float64(c.SweepsDeferred))
 	set("mspastry_dht_sweep_handoffs", "Objects handed off and dropped by sweeps.", float64(c.SweepHandoffs))
 	set("mspastry_dht_sync_rounds", "Anti-entropy exchanges started.", float64(c.SyncRounds))
 	set("mspastry_dht_sync_clean", "Anti-entropy exchanges where root digests matched.", float64(c.SyncClean))

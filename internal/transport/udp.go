@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"mspastry/internal/id"
+	"mspastry/internal/overload"
 	"mspastry/internal/pastry"
 	"mspastry/internal/wire"
 )
@@ -55,6 +56,12 @@ type UDP struct {
 	sink          MetricsSink
 
 	sent, received atomic.Uint64
+	panics         atomic.Uint64
+
+	// inQ, when set, bounds inbound work between the read loop and the
+	// event loop, shedding lowest-priority-first. Shared by both loops.
+	inMu sync.Mutex
+	inQ  *overload.Queue
 
 	// Event-loop-confined state (Send, flush timers and EvictPeer all run
 	// there): the per-peer resolved-address cache and the coalescer.
@@ -115,6 +122,12 @@ type MetricsSink interface {
 	// DecodeError fires for malformed frames and for each malformed
 	// message inside an otherwise valid batch.
 	DecodeError()
+	// MsgShed fires when the bounded inbound queue sheds a message from
+	// the given priority lane (the event loop fell behind the socket).
+	MsgShed(lane overload.Lane)
+	// HandlerPanic fires when a message handler panicked and was
+	// contained; the node keeps serving.
+	HandlerPanic()
 }
 
 // SetMetricsSink installs the traffic metrics sink. Safe to call at any
@@ -154,6 +167,34 @@ func (t *UDP) coalesceWindows() (window, long time.Duration) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.coWindow, t.coLong
+}
+
+// SetInboundQueue bounds inbound work between the socket read loop and
+// the event loop at limit messages. Arrivals are classified into
+// priority lanes; when the event loop falls behind, the queue sheds
+// lowest-priority-first, so liveness traffic (acks, probes) survives
+// overload at the expense of bulk transfer. Zero (the default) removes
+// the bound. Set it before traffic arrives.
+func (t *UDP) SetInboundQueue(limit int) {
+	t.inMu.Lock()
+	defer t.inMu.Unlock()
+	if limit <= 0 {
+		t.inQ = nil
+		return
+	}
+	t.inQ = overload.NewQueue(limit)
+}
+
+// OverloadStats reports the inbound queue's per-lane shed counts (all
+// zero without SetInboundQueue) and the number of contained handler
+// panics.
+func (t *UDP) OverloadStats() (shed [overload.NumLanes]uint64, panics uint64) {
+	t.inMu.Lock()
+	if t.inQ != nil {
+		shed = t.inQ.Shed
+	}
+	t.inMu.Unlock()
+	return shed, t.panics.Load()
 }
 
 // Listen opens a UDP socket on addr (for example "127.0.0.1:0") and starts
@@ -321,15 +362,74 @@ func (t *UDP) readLoop() {
 				sink.MsgReceived(m.Category(), wire.SingleSize(sizes[i]))
 			}
 		}
-		t.Do(func(node *pastry.Node) {
-			if node == nil {
-				return
+		t.inMu.Lock()
+		q := t.inQ
+		t.inMu.Unlock()
+		if q == nil {
+			t.Do(func(node *pastry.Node) {
+				if node == nil {
+					return
+				}
+				for _, m := range msgs {
+					t.deliver(node, m)
+				}
+			})
+			continue
+		}
+		t.inMu.Lock()
+		var sheds []overload.Lane
+		for _, m := range msgs {
+			if shed := q.Push(pastry.LaneOf(m), m); shed >= 0 {
+				sheds = append(sheds, shed)
 			}
-			for _, m := range msgs {
-				node.Receive(m)
+		}
+		t.inMu.Unlock()
+		if sink != nil {
+			for _, l := range sheds {
+				sink.MsgShed(l)
 			}
-		})
+		}
+		t.Do(t.drainInbound)
 	}
+}
+
+// drainInbound runs on the event loop, handing queued messages to the
+// node in priority order. It re-reads the queue each iteration, so work
+// enqueued while draining is picked up in the same pass.
+func (t *UDP) drainInbound(node *pastry.Node) {
+	for {
+		t.inMu.Lock()
+		if t.inQ == nil {
+			t.inMu.Unlock()
+			return
+		}
+		v, _, ok := t.inQ.Pop()
+		t.inMu.Unlock()
+		if !ok {
+			return
+		}
+		if node != nil {
+			t.deliver(node, v.(pastry.Message))
+		}
+	}
+}
+
+// deliver hands one message to the node, containing handler panics: a
+// latent protocol bug triggered by one peer's message must not take the
+// whole process down, so the panic is counted and the loop keeps
+// serving. The node's state may be mid-transition, but every handler
+// mutation is completed or abandoned wholesale (no partial locks), so
+// continuing is safe.
+func (t *UDP) deliver(node *pastry.Node, m pastry.Message) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.panics.Add(1)
+			if sink := t.metricsSink(); sink != nil {
+				sink.HandlerPanic()
+			}
+		}
+	}()
+	node.Receive(m)
 }
 
 // udpEnv implements pastry.Env on top of the transport.
@@ -447,6 +547,19 @@ func (e *udpEnv) sendError(to pastry.NodeRef, err error) {
 	if fn := (*UDP)(e).sendErrorHook(); fn != nil {
 		fn(to, err)
 	}
+}
+
+// LoadFactor implements pastry.LoadSampler: current occupancy of the
+// bounded inbound queue in [0,1], or 0 without one. Layers above (the
+// DHT's sweep scheduler) use it to defer deferrable work under load.
+func (e *udpEnv) LoadFactor() float64 {
+	t := (*UDP)(e)
+	t.inMu.Lock()
+	defer t.inMu.Unlock()
+	if t.inQ == nil {
+		return 0
+	}
+	return t.inQ.LoadFactor()
 }
 
 // Schedule arms a real timer whose callback runs on the event loop.
