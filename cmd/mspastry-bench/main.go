@@ -24,7 +24,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		which       = flag.String("experiment", "all", "experiment: all, fig3, topo, fig4, fig5, fig5join, fig6, fig7l, fig7b, ablation, selftune, suppression, heartbeat, consistency, massfailure, partitionheal, jitterfp, antientropy, batching, overload, fig8, fig8validate")
+		which       = flag.String("experiment", "all", "experiment: all, fig3, topo, fig4, fig5, fig5join, fig6, fig7l, fig7b, ablation, selftune, suppression, heartbeat, consistency, massfailure, partitionheal, jitterfp, antientropy, batching, overload, secure, fig8, fig8validate")
 		topoDiv     = flag.Int("topo-div", 8, "topology scale divisor (1 = paper size)")
 		traceDiv    = flag.Int("trace-div", 16, "trace population divisor (1 = paper size)")
 		maxDur      = flag.Duration("max-dur", 90*time.Minute, "cap on trace duration (0 = full traces; full Gnutella is 60h)")
@@ -207,6 +207,19 @@ func main() {
 		fmt.Fprintln(out, "route around saturated peers — so load past capacity degrades throughput")
 		fmt.Fprintln(out, "smoothly instead of collapsing the failure detector")
 	}
+	if run("secure") {
+		cfg := experiments.DefaultSecureConfig(scale)
+		r := experiments.Secure(cfg)
+		experiments.PrintRows(out,
+			fmt.Sprintf("Secure routing under Byzantine peers (%d nodes, %v, lookups %g/s)",
+				cfg.Nodes, cfg.Duration, cfg.LookupRate),
+			experiments.SecureCols(), r.Rows())
+		fmt.Fprintf(out, "defended success at f=0.1 = %.4f of the f=0 baseline (bar: >= 0.99); failure-test false positives at f=0: %.2e\n",
+			r.RestorationRatio(0.1), r.FalsePositiveRate())
+		fmt.Fprintln(out, "claim: the routing failure test (leaf-set density vs the origin's own")
+		fmt.Fprintln(out, "estimate) flags forged root claims, redundant neighbour-diverse rounds")
+		fmt.Fprintln(out, "route around the colluders, and confirmed liars feed the breakers")
+	}
 	if run("fig8") {
 		cfg := experiments.DefaultFig8Config()
 		cfg.Days = *fig8Days
@@ -248,7 +261,7 @@ func cdfRow(label string, r experiments.Fig5JoinCDF, session time.Duration) expe
 }
 
 func isKnown(name string) bool {
-	known := "all fig3 topo fig4 fig5 fig5join fig6 fig7l fig7b ablation selftune suppression heartbeat consistency massfailure partitionheal jitterfp antientropy batching fig8 fig8validate"
+	known := "all fig3 topo fig4 fig5 fig5join fig6 fig7l fig7b ablation selftune suppression heartbeat consistency massfailure partitionheal jitterfp antientropy batching overload secure fig8 fig8validate"
 	for _, k := range strings.Fields(known) {
 		if k == name {
 			return true

@@ -21,6 +21,8 @@
 //	get <key>              fetch a value
 //	del <key>              delete a value (tombstoned, propagates)
 //	lookup <key>           route a bare lookup (delivery logged at the root)
+//	slookup <key>          route a secure lookup (with -secure-routing: the
+//	                       root's completion report runs the failure test)
 //	status                 print leaf set, routing table and counters
 //	quit                   leave (crash-stop) and exit
 //
@@ -64,6 +66,8 @@ func main() {
 		status    = flag.Duration("status", 0, "print a status line at this interval (0 = off)")
 		dataDir   = flag.String("data-dir", "", "directory for the durable object store (empty = in-memory)")
 		inQueue   = flag.Int("inbound-queue", 0, "bound inbound work at this many messages, shedding lowest-priority-first (0 = unbounded)")
+		secRoute  = flag.Bool("secure-routing", false, "run the routing failure test on lookups issued with slookup, with redundant diverse-path retries")
+		secWrites = flag.Bool("secure-writes", false, "route DHT puts and deletes as secure lookups (requires -secure-routing)")
 	)
 	flag.Parse()
 
@@ -80,6 +84,8 @@ func main() {
 		log.Fatalf("-status must be >= 0, got %v", *status)
 	case *inQueue < 0:
 		log.Fatalf("-inbound-queue must be >= 0, got %d", *inQueue)
+	case *secWrites && !*secRoute:
+		log.Fatalf("-secure-writes requires -secure-routing")
 	}
 
 	tr, err := transport.Listen(*listen, *seed)
@@ -105,11 +111,13 @@ func main() {
 		}
 	}
 	cfg := pastry.DefaultConfig()
+	cfg.SecureRouting = *secRoute
 	node, err := tr.CreateNode(self, cfg, obs)
 	if err != nil {
 		log.Fatal(err)
 	}
 	dhtCfg := dht.DefaultConfig()
+	dhtCfg.SecureWrites = *secWrites
 	if *dataDir != "" {
 		// SyncEvery 1 fsyncs each write before the put is acknowledged:
 		// the node is a durability demo first, a throughput demo second.
@@ -252,13 +260,25 @@ loop:
 			key := id.FromKey(fields[1])
 			tr.Do(func(n *pastry.Node) { n.Lookup(key, nil) })
 			fmt.Printf("lookup for %s routed (the root logs the delivery)\n", key)
+		case "slookup":
+			if len(fields) != 2 {
+				fmt.Println("usage: slookup <key>")
+				break
+			}
+			if !*secRoute {
+				fmt.Println("slookup needs -secure-routing")
+				break
+			}
+			key := id.FromKey(fields[1])
+			tr.Do(func(n *pastry.Node) { n.LookupSecure(key, nil) })
+			fmt.Printf("secure lookup for %s routed (root report checked on arrival)\n", key)
 		case "status":
 			printStatus(reg, tr, store, *dataDir != "")
 		case "quit", "exit":
 			fmt.Println("leaving the overlay")
 			break loop
 		default:
-			fmt.Println("commands: put, get, del, lookup, status, quit")
+			fmt.Println("commands: put, get, del, lookup, slookup, status, quit")
 		}
 		fmt.Print("> ")
 	}

@@ -9,6 +9,7 @@
 //	mspastry-sim -trace poisson -session 30m -nodes 500 -duration 2h
 //	mspastry-sim -trace overnet -topo mercator -loss 0.05
 //	mspastry-sim -trace gnutella -no-acks -no-probing   # the ablation
+//	mspastry-sim -trace poisson -malicious-frac 0.1 -secure-routing
 //
 // Fault injection (all faults share the -fault-at/-fault-dur window,
 // measured from the end of the setup ramp):
@@ -78,6 +79,12 @@ func main() {
 		svcQueue = flag.Int("svc-queue", 0, "per-node service-capacity model: bounded receive queue length (0 = unbounded)")
 		svcRate  = flag.Float64("svc-rate", 0, "per-node service-capacity model: messages processed per second (0 = infinite)")
 
+		malFrac   = flag.Float64("malicious-frac", 0, "fraction of nodes that behave maliciously [0,1)")
+		malBhv    = flag.String("malicious-behaviors", "all", "comma list of adversary behaviors: drop, misroute, poison, forgeack (or all, none)")
+		secRoute  = flag.Bool("secure-routing", false, "enable the routing failure test and redundant diverse-path lookups")
+		secFanout = flag.Int("secure-fanout", 0, "override diverse first hops per redundant round (0 = default)")
+		secRounds = flag.Int("secure-rounds", 0, "override redundant rounds per lookup (0 = default)")
+
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		metricsDump = flag.String("metrics-dump", "", "write the telemetry registry in Prometheus text format at exit (\"-\" for stdout)")
@@ -120,6 +127,14 @@ func main() {
 		log.Fatalf("-svc-queue and -svc-rate must be set together (got queue=%d rate=%g)", *svcQueue, *svcRate)
 	case *svcQueue < 0 || *svcRate < 0:
 		log.Fatalf("-svc-queue and -svc-rate must be >= 0")
+	case *malFrac < 0 || *malFrac >= 1:
+		log.Fatalf("-malicious-frac %g outside [0,1)", *malFrac)
+	case *secFanout < 0 || *secRounds < 0:
+		log.Fatalf("-secure-fanout and -secure-rounds must be >= 0 (0 = default)")
+	}
+	behaviors, err := netmodel.ParseBehaviors(*malBhv)
+	if err != nil {
+		log.Fatalf("-malicious-behaviors: %v", err)
 	}
 
 	if *cpuprofile != "" {
@@ -162,6 +177,13 @@ func main() {
 	pcfg.FixedTrt = *fixedTrt
 	pcfg.TargetRawLoss = *targetLr
 	pcfg.PNS = !*noPNS
+	pcfg.SecureRouting = *secRoute
+	if *secFanout > 0 {
+		pcfg.SecureFanout = *secFanout
+	}
+	if *secRounds > 0 {
+		pcfg.SecureMaxRounds = *secRounds
+	}
 	if *tls > 0 {
 		pcfg.Tls = *tls
 	}
@@ -181,6 +203,8 @@ func main() {
 	cfg.Window = *window
 	cfg.SetupRamp = *ramp
 	cfg.Seed = *seed
+	cfg.MaliciousFraction = *malFrac
+	cfg.MaliciousBehaviors = behaviors
 	if *metricsDump != "" || *traceLook {
 		cfg.Telemetry = telemetry.NewRegistry()
 		cfg.TraceLookups = *traceLook
@@ -220,6 +244,10 @@ func main() {
 
 	fmt.Printf("# topology=%s (routers=%d) trace=%s (nodes=%d, %v) loss=%.1f%% lookups=%g/s\n",
 		topo.Name(), topo.NumRouters(), tr.Name, tr.Nodes, tr.Duration, *loss*100, *lookups)
+	if *malFrac > 0 {
+		fmt.Printf("# adversary: frac=%.2f behaviors=%s secure-routing=%v\n",
+			*malFrac, behaviors, *secRoute)
+	}
 
 	start := time.Now()
 	res := harness.Run(cfg)
@@ -264,6 +292,18 @@ func main() {
 		fmt.Printf("  budget_dry=%d breaker_opens=%d breaker_reopens=%d breaker_closes=%d\n",
 			res.Counters.RetryBudgetExhausted, res.Counters.BreakerOpens,
 			res.Counters.BreakerReopens, res.Counters.BreakerCloses)
+	}
+	if *malFrac > 0 {
+		a := res.Adversary
+		fmt.Printf("adversary: marked=%d dropped=%d misrouted=%d rootClaims=%d reportsForged=%d acksForged=%d poisoned=%d\n",
+			int(*malFrac*float64(tr.Nodes)+0.5), a.LookupsDropped, a.LookupsMisrouted,
+			a.RootClaims, a.ReportsForged, a.AcksForged, a.MessagesPoisoned)
+	}
+	if *secRoute {
+		c := res.Counters
+		fmt.Printf("secure routing: reports=%d pass=%d fail=%d rounds=%d sends=%d distrusted=%d giveups=%d\n",
+			c.SecureReports, c.SecureTestPass, c.SecureTestFail,
+			c.SecureRedundantRounds, c.SecureRedundantSends, c.SecureDistrusted, c.SecureGiveUps)
 	}
 	if cfg.Faults != nil {
 		fmt.Printf("fault counters: duplicated=%d reordered=%d peakRetx=%.4f/node/s\n",

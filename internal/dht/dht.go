@@ -54,6 +54,12 @@ type Config struct {
 	// is already saturated only deepens the overload. Zero disables the
 	// gate; the deferred sweep re-arms at the usual interval.
 	SyncLoadThreshold float64
+	// SecureWrites routes Put and Delete with always-on redundant
+	// diverse-path lookups (pastry.Node.LookupSecure): writes land on
+	// whatever node answers as root, so a misrouted write silently
+	// strands the object with a colluder, while a misrouted read just
+	// fails and retries. Requires pastry.Config.SecureRouting.
+	SecureWrites bool
 }
 
 // DefaultConfig returns k=3 replication with 30-second anti-entropy
@@ -229,7 +235,11 @@ func (s *Store) sendOp(reqID uint64, op *pendingOp) {
 	case kindDelete:
 		payload = encodeDelete(reqID)
 	}
-	if _, ok := s.node.Lookup(op.key, payload); !ok {
+	send := s.node.Lookup
+	if s.cfg.SecureWrites && op.kind != kindGet {
+		send = s.node.LookupSecure
+	}
+	if _, ok := send(op.key, payload); !ok {
 		s.finish(reqID, nil, errors.New("dht: node is down"))
 		return
 	}

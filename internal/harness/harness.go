@@ -6,6 +6,7 @@ package harness
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"strconv"
 	"time"
@@ -68,7 +69,16 @@ type Config struct {
 	// TraceLookups records per-lookup hop traces (requires Telemetry);
 	// the result carries the tracer and its route-reconstruction stats.
 	TraceLookups bool
-	// Seed seeds all randomness (ids, lookup keys, loss, faults).
+	// MaliciousFraction marks this fraction of slots Byzantine: their
+	// nodes run the normal protocol but attack routing with
+	// MaliciousBehaviors (see netmodel.Adversary). Zero disables the
+	// adversary entirely and reproduces pre-adversary runs bit-for-bit.
+	MaliciousFraction float64
+	// MaliciousBehaviors selects the attacks mounted by malicious nodes;
+	// zero defaults to netmodel.AdvAll when MaliciousFraction > 0.
+	MaliciousBehaviors netmodel.Behavior
+	// Seed seeds all randomness (ids, lookup keys, loss, faults,
+	// adversary selection).
 	Seed int64
 }
 
@@ -106,6 +116,9 @@ type Result struct {
 	// ShedByLane counts service-model queue sheds per priority lane (all
 	// zero without Config.Service).
 	ShedByLane [overload.NumLanes]uint64
+	// Adversary tallies Byzantine attack activity (zero without
+	// Config.MaliciousFraction).
+	Adversary netmodel.AdversaryStats
 	// Phases splits lookup outcomes into before/during/after the fault
 	// window (zero value when no fault script was set).
 	Phases stats.PhaseTotals
@@ -154,6 +167,10 @@ type run struct {
 	// hop tracer (nil when cfg.Telemetry is unset).
 	tel    *telemetry.Overlay
 	tracer *telemetry.Tracer
+
+	// adv is the configured Byzantine adversary (nil when
+	// cfg.MaliciousFraction is zero).
+	adv *netmodel.Adversary
 }
 
 type slot struct {
@@ -198,6 +215,28 @@ func newRun(cfg Config) *run {
 	first := cfg.Topo.Attach(cfg.Trace.Nodes, sim.Rand())
 	for i := range r.slots {
 		r.slots[i] = &slot{ep: nw.NewEndpoint(first + i)}
+	}
+	if cfg.MaliciousFraction > 0 {
+		if cfg.MaliciousFraction >= 1 {
+			panic("harness: MaliciousFraction must be in [0,1)")
+		}
+		r.adv = nw.Adversary()
+		b := cfg.MaliciousBehaviors
+		if b == 0 {
+			b = netmodel.AdvAll
+		}
+		r.adv.SetBehaviors(b)
+		// Which slots are malicious is drawn from a dedicated stream so
+		// the selection never perturbs the simulator's seeded randomness:
+		// an f=0 run reproduces a no-adversary run bit-for-bit.
+		sel := rand.New(rand.NewSource(cfg.Seed ^ 0x42d06c01))
+		k := int(cfg.MaliciousFraction*float64(len(r.slots)) + 0.5)
+		if k > len(r.slots) {
+			k = len(r.slots)
+		}
+		for _, i := range sel.Perm(len(r.slots))[:k] {
+			r.adv.Mark(r.slots[i].ep.Addr())
+		}
 	}
 	if cfg.Telemetry != nil {
 		if cfg.TraceLookups {
@@ -284,6 +323,9 @@ func (r *run) execute() Result {
 		DropsByReason: r.dropReasons,
 		TimeoutLost:   r.timeoutLost,
 	}
+	if r.adv != nil {
+		res.Adversary = r.adv.Stats
+	}
 	var trts []time.Duration
 	for _, s := range r.slots {
 		if s.node != nil && s.node.Alive() {
@@ -367,6 +409,13 @@ func (r *run) absorbCounters(n *pastry.Node) {
 	r.counters.BreakerOpens += c.BreakerOpens
 	r.counters.BreakerReopens += c.BreakerReopens
 	r.counters.BreakerCloses += c.BreakerCloses
+	r.counters.SecureReports += c.SecureReports
+	r.counters.SecureTestPass += c.SecureTestPass
+	r.counters.SecureTestFail += c.SecureTestFail
+	r.counters.SecureRedundantRounds += c.SecureRedundantRounds
+	r.counters.SecureRedundantSends += c.SecureRedundantSends
+	r.counters.SecureDistrusted += c.SecureDistrusted
+	r.counters.SecureGiveUps += c.SecureGiveUps
 }
 
 func (r *run) randomActiveRef() (pastry.NodeRef, bool) {
@@ -496,6 +545,20 @@ func (o *runObserver) TrtTuned(n *pastry.Node, trt time.Duration) {
 func (o *runObserver) LeafSetRepair(n *pastry.Node, cause string) {
 	if r := (*run)(o); r.tel != nil {
 		r.tel.LeafSetRepair(n, cause)
+	}
+}
+
+// SecureVerdict implements pastry.SecureObserver.
+func (o *runObserver) SecureVerdict(n *pastry.Node, verdict string) {
+	if r := (*run)(o); r.tel != nil {
+		r.tel.SecureVerdict(n, verdict)
+	}
+}
+
+// SecureRedundant implements pastry.SecureObserver.
+func (o *runObserver) SecureRedundant(n *pastry.Node, fanout int) {
+	if r := (*run)(o); r.tel != nil {
+		r.tel.SecureRedundant(n, fanout)
 	}
 }
 

@@ -38,6 +38,10 @@ const (
 	// DropOverload means the destination's bounded service queue shed the
 	// message (or a lower-priority one to admit it); see ServiceModel.
 	DropOverload
+	// DropAdversary means a malicious node consumed the message: a
+	// Byzantine peer dropped a transit lookup or captured it with a
+	// forged root claim (see Adversary).
+	DropAdversary
 	// NumDropCauses sizes dense per-cause arrays.
 	NumDropCauses
 )
@@ -58,6 +62,8 @@ func (c DropCause) String() string {
 		return "stale-identity"
 	case DropOverload:
 		return "overload"
+	case DropAdversary:
+		return "adversary"
 	default:
 		return fmt.Sprintf("DropCause(%d)", int(c))
 	}
@@ -65,8 +71,9 @@ func (c DropCause) String() string {
 
 // injected reports whether the cause is an injected fault (as opposed to a
 // churn artifact: the destination being unknown, dead or reincarnated).
+// Adversarial consumption is injected: the experiment configured it.
 func (c DropCause) injected() bool {
-	return c == DropLoss || c == DropLinkLoss || c == DropPartition
+	return c == DropLoss || c == DropLinkLoss || c == DropPartition || c == DropAdversary
 }
 
 // FaultCounters tallies fault-injection activity on a Network.

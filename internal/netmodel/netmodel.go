@@ -57,6 +57,7 @@ type Network struct {
 	onSend   func(from *Endpoint, to pastry.NodeRef, m pastry.Message, singleBytes int)
 	onFrame  func(from *Endpoint, f FrameInfo)
 	faults   *FaultSet
+	adv      *Adversary
 	// Drops counts messages lost to injected faults (uniform loss,
 	// per-link loss and partitions). Churn artifacts — unknown, dead or
 	// reincarnated destinations — are accounted separately in
@@ -249,6 +250,9 @@ func (ep *Endpoint) EvictPeer(ref pastry.NodeRef) {
 // queue per destination and the whole batch later transmits as one frame.
 func (ep *Endpoint) Send(to pastry.NodeRef, m pastry.Message) {
 	nw := ep.nw
+	if nw.adv != nil {
+		m = nw.adv.rewriteOutbound(ep, to, m)
+	}
 	if nw.coWindow <= 0 {
 		buf := wire.GetBuf()
 		*buf = pastry.AppendMessage(*buf, m)
@@ -402,7 +406,7 @@ func (nw *Network) deliverAfter(dst *Endpoint, to pastry.NodeRef, single pastry.
 func (ep *Endpoint) accept(to pastry.NodeRef, m pastry.Message) {
 	nw := ep.nw
 	if !nw.svc.enabled() {
-		ep.node.Receive(copyForDelivery(m))
+		ep.deliverToNode(m)
 		return
 	}
 	if ep.svcQ == nil {
@@ -445,9 +449,20 @@ func (ep *Endpoint) serviceOne() {
 	case ep.node.Ref().ID != it.to.ID:
 		ep.nw.dropN(DropStaleIdentity, 1)
 	default:
-		ep.node.Receive(copyForDelivery(it.m))
+		ep.deliverToNode(it.m)
 	}
 	ep.startService()
+}
+
+// deliverToNode hands one arrived message to the bound node, giving a
+// configured adversary the chance to consume it first (Byzantine nodes
+// attack at delivery, after the network has faithfully carried the
+// frame).
+func (ep *Endpoint) deliverToNode(m pastry.Message) {
+	if adv := ep.nw.adv; adv != nil && adv.interceptInbound(ep, m) {
+		return
+	}
+	ep.node.Receive(copyForDelivery(m))
 }
 
 // LoadFactor implements pastry.LoadSampler: current service-queue

@@ -314,6 +314,28 @@ func (b *Breaker) Success(sentAt time.Duration) (closed bool) {
 	return closed
 }
 
+// Trip forces the breaker open at now regardless of the consecutive-
+// failure count: the owner has out-of-band evidence the peer is bad —
+// e.g. a routing result confirmed Byzantine by cross-path voting —
+// rather than a run of timeouts. A trip from half-open counts as a
+// failed trial (doubled cooldown); a trip while already open restarts
+// the cooldown clock. Recovery is the usual path: cooldown, half-open
+// trial, fresh Success.
+func (b *Breaker) Trip(now time.Duration) {
+	switch b.state {
+	case BreakerHalfOpen:
+		b.reopen(now)
+		return
+	case BreakerOpen:
+		b.openedAt = now
+		return
+	}
+	b.failures = b.Threshold
+	b.openFor = b.Cooldown
+	b.state = BreakerOpen
+	b.openedAt = now
+}
+
 // Ready reports whether an open breaker's cooldown has expired, so the
 // owner should move it half-open and send a trial probe.
 func (b *Breaker) Ready(now time.Duration) bool {

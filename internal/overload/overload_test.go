@@ -200,6 +200,54 @@ func TestBreakerTransitions(t *testing.T) {
 	}
 }
 
+// TestBreakerTrip pins the out-of-band opening path used by the
+// secure-routing distrust signal: Trip opens immediately from closed,
+// restarts the clock from open, counts as a failed trial from half-open,
+// and recovers through the ordinary half-open machinery.
+func TestBreakerTrip(t *testing.T) {
+	b := &Breaker{Threshold: 3, Cooldown: time.Second, MaxCooldown: 8 * time.Second}
+	now := time.Duration(0)
+
+	b.Trip(now)
+	if b.State() != BreakerOpen || !b.Denies() {
+		t.Fatalf("state = %v after Trip from closed, want open", b.State())
+	}
+	if b.Failures() != 3 {
+		t.Fatalf("failures = %d after Trip, want Threshold", b.Failures())
+	}
+
+	// Trip while open restarts the cooldown clock without doubling.
+	now += 900 * time.Millisecond
+	b.Trip(now)
+	if b.Ready(now + 999*time.Millisecond) {
+		t.Fatal("Ready before restarted cooldown expired")
+	}
+	if !b.Ready(now + time.Second) {
+		t.Fatal("not Ready after restarted cooldown")
+	}
+
+	// Trip from half-open is a failed trial: doubled cooldown.
+	now += time.Second
+	b.HalfOpen()
+	b.Trip(now)
+	if b.State() != BreakerOpen || b.openFor != 2*time.Second {
+		t.Fatalf("state=%v openFor=%v after half-open Trip, want open/2s", b.State(), b.openFor)
+	}
+
+	// Normal recovery: cooldown, half-open, fresh success.
+	now += 2 * time.Second
+	if !b.Ready(now) {
+		t.Fatal("not Ready after doubled cooldown")
+	}
+	b.HalfOpen()
+	if !b.Success(now) {
+		t.Fatal("fresh success did not close a tripped breaker")
+	}
+	if b.State() != BreakerClosed || b.Failures() != 0 {
+		t.Fatalf("state=%v failures=%d after recovery", b.State(), b.Failures())
+	}
+}
+
 // TestBreakerStale pins the pruning signal: a half-open breaker that no
 // trial traffic has touched for a full MaxCooldown is stale; open and
 // closed breakers never are.

@@ -128,16 +128,66 @@ func (n *Node) retryAllowed(x id.ID) bool {
 // track only peers under active suspicion: full (fully refilled) budget
 // buckets, closed breakers with no strikes, and half-open breakers no
 // traffic has tried for a full maximum cooldown carry no information.
+// Records for peers no longer in the leaf set or routing table go too —
+// routing only ever picks next hops from those two structures, so state
+// about anyone else can never influence a decision, and without this
+// eviction the maps grow without bound under churn (every peer that ever
+// missed an ack would be remembered forever).
 func (n *Node) pruneOverloadState(now time.Duration) {
 	for x, tb := range n.retryBudget {
-		if tb.Full(now) {
+		if tb.Full(now) || !n.inRoutingState(x) {
 			delete(n.retryBudget, x)
 		}
 	}
 	for x, b := range n.breakers {
-		if (b.State() == overload.BreakerClosed && b.Failures() == 0) || b.Stale(now) {
+		if (b.State() == overload.BreakerClosed && b.Failures() == 0) || b.Stale(now) || !n.inRoutingState(x) {
 			delete(n.breakers, x)
 		}
+	}
+}
+
+// inRoutingState reports whether the peer can currently be chosen as a
+// next hop: it is in the leaf set or the routing table.
+func (n *Node) inRoutingState(x id.ID) bool {
+	return n.ls.Contains(x) || n.rt.Contains(x)
+}
+
+// distrust feeds a peer confirmed bad by the secure-routing vote (its
+// root claim lost to a strictly closer accepted root) into the routing-
+// exclusion machinery: the peer is excluded from next-hop selection and
+// its circuit breaker is force-opened, so recovery follows the ordinary
+// cooldown/half-open path rather than being permanent — the failure test
+// is statistical, and an honest peer caught by a rare false vote must be
+// able to come back.
+func (n *Node) distrust(ref NodeRef) {
+	if ref.ID == n.self.ID {
+		return
+	}
+	if _, dead := n.failed[ref.ID]; dead {
+		return
+	}
+	n.counters.SecureDistrusted++
+	n.excluded[ref.ID] = true
+	// Hand the exclusion record to the regular probe machinery so it has
+	// an owner: a probe reply lifts it (the breaker keeps denying through
+	// its cooldown), a probe timeout marks the peer faulty outright.
+	n.suspect(ref)
+	if n.cfg.BreakerThreshold <= 0 {
+		return
+	}
+	b := n.breakers[ref.ID]
+	if b == nil {
+		b = &overload.Breaker{
+			Threshold:   n.cfg.BreakerThreshold,
+			Cooldown:    n.cfg.BreakerCooldown,
+			MaxCooldown: n.cfg.BreakerMaxCooldown,
+		}
+		n.breakers[ref.ID] = b
+	}
+	wasOpen := b.Denies()
+	b.Trip(n.env.Now())
+	if !wasOpen {
+		n.counters.BreakerOpens++
 	}
 }
 

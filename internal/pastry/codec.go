@@ -36,6 +36,7 @@ const (
 	tagNNStateRequest
 	tagNNStateReply
 	tagAppDirect
+	tagRootReport
 )
 
 // maxWireSlice bounds decoded slice lengths to keep a malformed or
@@ -153,6 +154,13 @@ func AppendMessage(buf []byte, m Message) []byte {
 		buf = appendRef(buf, msg.From)
 		buf = binary.AppendUvarint(buf, uint64(len(msg.Payload)))
 		buf = append(buf, msg.Payload...)
+	case *RootReport:
+		buf = append(buf, tagRootReport)
+		buf = appendRef(buf, msg.From)
+		buf = binary.AppendUvarint(buf, msg.Seq)
+		buf = append(buf, msg.Key.Bytes()...)
+		buf = appendRefs(buf, msg.Leaves)
+		buf = appendDuration(buf, msg.TrtHint)
 	default:
 		panic(fmt.Sprintf("pastry: cannot encode %T", m))
 	}
@@ -226,6 +234,14 @@ func DecodeMessage(buf []byte) (Message, error) {
 			ad.Payload = append([]byte(nil), d.take(int(plen))...)
 		}
 		m = ad
+	case tagRootReport:
+		rr := &RootReport{From: d.ref(), Seq: d.uvarint()}
+		if raw := d.take(16); raw != nil {
+			rr.Key = id.FromBytes(raw)
+		}
+		rr.Leaves = d.refs()
+		rr.TrtHint = d.duration()
+		m = rr
 	default:
 		return nil, fmt.Errorf("pastry: unknown message tag %d", buf[0])
 	}
@@ -271,6 +287,7 @@ func appendLookup(buf []byte, lk *Lookup) []byte {
 	buf = appendDuration(buf, lk.Issued)
 	buf = binary.AppendUvarint(buf, uint64(lk.Hops))
 	buf = appendBool(buf, lk.NoAck)
+	buf = appendBool(buf, lk.WantReport)
 	buf = binary.AppendUvarint(buf, uint64(len(lk.Payload)))
 	return append(buf, lk.Payload...)
 }
@@ -380,6 +397,7 @@ func (d *decoder) lookup() *Lookup {
 	lk.Issued = d.duration()
 	lk.Hops = d.int()
 	lk.NoAck = d.bool()
+	lk.WantReport = d.bool()
 	plen := d.uvarint()
 	if plen > 1<<20 {
 		d.fail("payload too long")

@@ -119,6 +119,28 @@ type Config struct {
 	// BreakerMaxCooldown caps the doubling backoff between recovery
 	// probes.
 	BreakerMaxCooldown time.Duration
+
+	// SecureRouting enables the Byzantine-routing defenses: lookups ask
+	// the root for a completion report, the report's leaf-set density is
+	// checked against the locally observed id-space density (the routing
+	// failure test), and suspected misroutes are re-issued over multiple
+	// neighbour-diverse first hops whose reports vote on the true root.
+	// Off by default: the honest-world baseline pays no report traffic.
+	SecureRouting bool
+	// SecureFanout is how many diverse first hops a redundant round uses.
+	SecureFanout int
+	// SecureMaxRounds bounds redundant rounds per lookup.
+	SecureMaxRounds int
+	// SecureReplyTimeout is how long the origin waits for a plausible
+	// root report before (re-)issuing a redundant round.
+	SecureReplyTimeout time.Duration
+	// SecureDensityRatio is the failure test's suspicion threshold: a
+	// reported neighbourhood sparser than this multiple of the local
+	// density estimate is flagged (γ in internal/secure).
+	SecureDensityRatio float64
+	// SecureDistanceRatio flags roots farther than this multiple of the
+	// local mean inter-node gap from the key (δ in internal/secure).
+	SecureDistanceRatio float64
 }
 
 // DefaultConfig returns the paper's base configuration: b=4, l=32,
@@ -158,6 +180,11 @@ func DefaultConfig() Config {
 		BreakerThreshold:     3,
 		BreakerCooldown:      3 * time.Second,
 		BreakerMaxCooldown:   time.Minute,
+		SecureFanout:         4,
+		SecureMaxRounds:      3,
+		SecureReplyTimeout:   5 * time.Second,
+		SecureDensityRatio:   4,
+		SecureDistanceRatio:  8,
 	}
 }
 
@@ -198,6 +225,14 @@ func (c Config) Validate() error {
 		return fmt.Errorf("pastry: BreakerCooldown must be positive with breakers enabled")
 	case c.BreakerThreshold > 0 && c.BreakerMaxCooldown < c.BreakerCooldown:
 		return fmt.Errorf("pastry: BreakerMaxCooldown below BreakerCooldown")
+	case c.SecureRouting && c.SecureFanout < 2:
+		return fmt.Errorf("pastry: SecureFanout=%d must be >= 2 with secure routing", c.SecureFanout)
+	case c.SecureRouting && c.SecureMaxRounds < 1:
+		return fmt.Errorf("pastry: SecureMaxRounds must be >= 1 with secure routing")
+	case c.SecureRouting && c.SecureReplyTimeout <= 0:
+		return fmt.Errorf("pastry: SecureReplyTimeout must be positive with secure routing")
+	case c.SecureRouting && (c.SecureDensityRatio <= 1 || c.SecureDistanceRatio <= 1):
+		return fmt.Errorf("pastry: secure-routing ratios must exceed 1")
 	}
 	return nil
 }

@@ -49,11 +49,15 @@ const (
 	// CatApp is direct application traffic (for example Squirrel
 	// responses); like lookups it is not control traffic.
 	CatApp
+	// CatSecure covers the secure-routing defenses: root completion
+	// reports for the routing failure test. Control traffic, so the
+	// defenses' byte overhead shows up in the paper-style accounting.
+	CatSecure
 )
 
 // CategoryCount is the number of categories plus one (categories are
 // 1-based), sized for dense per-category arrays.
-const CategoryCount = int(CatApp) + 1
+const CategoryCount = int(CatSecure) + 1
 
 func (c Category) String() string {
 	switch c {
@@ -71,6 +75,8 @@ func (c Category) String() string {
 		return "ack"
 	case CatApp:
 		return "app"
+	case CatSecure:
+		return "secure"
 	default:
 		return fmt.Sprintf("Category(%d)", int(c))
 	}
@@ -102,6 +108,9 @@ type Lookup struct {
 	// NoAck disables per-hop acknowledgements for this message
 	// (applications that do not need reliable routing set it).
 	NoAck bool
+	// WantReport asks the root to report its leaf set back to Origin on
+	// delivery, so the origin can run the secure-routing failure test.
+	WantReport bool
 	// Payload is opaque application data (used by Squirrel and Scribe).
 	Payload []byte
 }
@@ -324,6 +333,24 @@ type AppDirect struct {
 
 // Category implements Message.
 func (*AppDirect) Category() Category { return CatApp }
+
+// RootReport is the root's completion report for a secure lookup: sent
+// directly to the lookup's origin after delivery, carrying the
+// responder's leaf set so the origin can compare the reported id-space
+// density against its own and flag implausible (misrouted) results.
+type RootReport struct {
+	From NodeRef
+	// Seq echoes the lookup's origin-local sequence number.
+	Seq uint64
+	// Key echoes the looked-up key, guarding against stale sequence reuse.
+	Key id.ID
+	// Leaves is the responder's leaf set at delivery time.
+	Leaves  []NodeRef
+	TrtHint time.Duration
+}
+
+// Category implements Message.
+func (*RootReport) Category() Category { return CatSecure }
 
 // NNStateReply returns the node's leaf set and routing-table entries.
 type NNStateReply struct {

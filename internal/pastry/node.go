@@ -6,6 +6,7 @@ import (
 
 	"mspastry/internal/id"
 	"mspastry/internal/overload"
+	"mspastry/internal/secure"
 )
 
 // Node is one MSPastry overlay node. It is driven entirely by its Env:
@@ -16,11 +17,12 @@ type Node struct {
 	cfg Config
 	env Env
 	obs Observer
-	// tobs and sobs cache the observer's optional telemetry extensions
-	// (detected once at construction; nil when not implemented).
-	tobs TraceObserver
-	sobs StatsObserver
-	self NodeRef
+	// tobs, sobs and secObs cache the observer's optional telemetry
+	// extensions (detected once at construction; nil when not implemented).
+	tobs   TraceObserver
+	sobs   StatsObserver
+	secObs SecureObserver
+	self   NodeRef
 
 	ls *LeafSet
 	rt *RoutingTable
@@ -44,6 +46,12 @@ type Node struct {
 	// repeat sends to the same peer. See breaker.go.
 	breakers    map[id.ID]*overload.Breaker
 	retryBudget map[id.ID]*overload.TokenBucket
+
+	// secureSess tracks this origin's secure lookups awaiting a root
+	// report; density is the id-space density estimate the routing
+	// failure test compares reports against. See secure.go.
+	secureSess map[uint64]*secureSession
+	density    secure.Estimator
 
 	// graveyard remembers recently purged peers for slow re-probing, so
 	// the overlay can re-merge after a long partition (see reconnect.go).
@@ -133,6 +141,20 @@ type Counters struct {
 	// acks; BreakerReopens counts failed half-open recovery trials;
 	// BreakerCloses counts recoveries (breakers closed by a success).
 	BreakerOpens, BreakerReopens, BreakerCloses uint64
+	// SecureReports counts root completion reports received for this
+	// origin's secure lookups; SecureTestPass/SecureTestFail count the
+	// routing failure test's verdicts on them.
+	SecureReports, SecureTestPass, SecureTestFail uint64
+	// SecureRedundantRounds counts redundant diverse-path rounds issued
+	// (on a failed test or report timeout); SecureRedundantSends counts
+	// the individual first-hop copies those rounds sent.
+	SecureRedundantRounds, SecureRedundantSends uint64
+	// SecureDistrusted counts peers confirmed bad by cross-path voting
+	// and fed into the exclusion/breaker machinery.
+	SecureDistrusted uint64
+	// SecureGiveUps counts secure lookups that exhausted every redundant
+	// round without an accepted root report.
+	SecureGiveUps uint64
 }
 
 type probeState struct {
@@ -200,9 +222,11 @@ func NewNode(self NodeRef, cfg Config, env Env, obs Observer) (*Node, error) {
 		lsCandidateProbed: make(map[id.ID]time.Duration),
 		breakers:          make(map[id.ID]*overload.Breaker),
 		retryBudget:       make(map[id.ID]*overload.TokenBucket),
+		secureSess:        make(map[uint64]*secureSession),
 	}
 	n.tobs, _ = obs.(TraceObserver)
 	n.sobs, _ = obs.(StatsObserver)
+	n.secObs, _ = obs.(SecureObserver)
 	n.trtCurrent = n.initialTrt()
 	n.trtLocal = n.trtCurrent
 	return n, nil
@@ -315,6 +339,11 @@ func (n *Node) Fail() {
 			ds.timer.Cancel()
 		}
 	}
+	for _, ss := range n.secureSess {
+		if ss.timer != nil {
+			ss.timer.Cancel()
+		}
+	}
 }
 
 // Lookup routes an application lookup to the root of key. It returns the
@@ -334,6 +363,10 @@ func (n *Node) Lookup(key id.ID, payload []byte) (uint64, bool) {
 		Payload: payload,
 	}
 	lk.TraceID = deriveTraceID(n.self, lk.Seq, lk.Issued)
+	if n.cfg.SecureRouting {
+		lk.WantReport = true
+		n.startSecureSession(lk)
+	}
 	if n.tobs != nil {
 		n.tobs.LookupIssued(n, lk)
 	}
@@ -342,6 +375,24 @@ func (n *Node) Lookup(key id.ID, payload []byte) (uint64, bool) {
 	// key's root, in which case routing delivers immediately).
 	n.schedule(0, func() { n.routeLookup(lk, nil) })
 	return lk.Seq, true
+}
+
+// LookupSecure issues a lookup that is redundant from the start: besides
+// the normal route, a diverse-path round goes out immediately rather
+// than only after a failed test or timeout. The DHT uses it for writes,
+// where a captured lookup silently strands the data on the wrong node.
+// Falls back to a plain Lookup when secure routing is off.
+func (n *Node) LookupSecure(key id.ID, payload []byte) (uint64, bool) {
+	seq, ok := n.Lookup(key, payload)
+	if !ok || !n.cfg.SecureRouting {
+		return seq, ok
+	}
+	n.schedule(0, func() {
+		if ss, live := n.secureSess[seq]; live {
+			n.redundantRound(ss)
+		}
+	})
+	return seq, true
 }
 
 // Receive processes one incoming message. The sender is identified by the
@@ -413,6 +464,9 @@ func (n *Node) Receive(m Message) {
 		if n.app != nil {
 			n.app.Direct(msg.From, msg.Payload)
 		}
+	case *RootReport:
+		n.noteContact(msg.From, msg.TrtHint)
+		n.handleRootReport(msg)
 	default:
 		panic(fmt.Sprintf("pastry: unknown message %T", m))
 	}

@@ -361,6 +361,36 @@ func (n *Node) receiveRootLookup(lk *Lookup) {
 	if n.app != nil {
 		n.app.Deliver(lk)
 	}
+	if lk.WantReport {
+		if !lk.Origin.IsZero() && lk.Origin.ID != n.self.ID {
+			n.send(lk.Origin, &RootReport{
+				From:    n.self,
+				Seq:     lk.Seq,
+				Key:     lk.Key,
+				Leaves:  n.ls.Members(),
+				TrtHint: n.trtLocal,
+			})
+		} else {
+			// The origin is its own root: no report crosses the wire, the
+			// session resolves locally (trivially a pass — we trust our own
+			// leaf set).
+			n.secureSelfDelivered(lk.Seq)
+		}
+	}
+}
+
+// IsRootFor reports whether this node would deliver a lookup for key
+// right now (it considers itself the key's root). Exported for the
+// simulator's adversary model: a malicious node that actually owns the
+// key delivers honestly — dropping root-owned traffic is a replication
+// problem, not a routing problem, and no routing defense can recover a
+// lookup whose true destination is the attacker.
+func (n *Node) IsRootFor(key id.ID) bool {
+	if !n.active {
+		return false
+	}
+	_, self, _ := n.nextHop(key, nil)
+	return self
 }
 
 // canDeliver implements the paper's guard: no delivery while Li.left or

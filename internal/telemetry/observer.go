@@ -41,6 +41,8 @@ type Overlay struct {
 	repairs     *CounterVec
 	joins       *Counter
 	joinLatency *Histogram
+	verdicts    *CounterVec
+	fanout      *Histogram
 }
 
 // NewOverlay creates an overlay observer recording into reg and, when
@@ -77,6 +79,10 @@ func NewOverlay(reg *Registry, tracer *Tracer, opts OverlayOptions) *Overlay {
 			"Nodes that completed the join protocol and became active."),
 		joinLatency: reg.Histogram("mspastry_join_latency_seconds",
 			"Join latency from first request to activation.", DefBuckets),
+		verdicts: reg.CounterVec("mspastry_secure_verdicts_total",
+			"Routing failure test verdicts on root completion reports.", "verdict"),
+		fanout: reg.Histogram("mspastry_secure_redundant_fanout",
+			"First-hop copies sent per redundant diverse-path round.", HopBuckets),
 	}
 }
 
@@ -159,6 +165,16 @@ func (o *Overlay) LeafSetRepair(n *pastry.Node, cause string) {
 	o.repairs.With(cause).Inc()
 }
 
+// SecureVerdict implements pastry.SecureObserver.
+func (o *Overlay) SecureVerdict(n *pastry.Node, verdict string) {
+	o.verdicts.With(verdict).Inc()
+}
+
+// SecureRedundant implements pastry.SecureObserver.
+func (o *Overlay) SecureRedundant(n *pastry.Node, fanout int) {
+	o.fanout.Observe(float64(fanout))
+}
+
 // RecordNodeCounters copies a node's internal protocol tallies into the
 // registry as gauges. On a live node this runs at scrape time (via
 // Registry.OnCollect); the simulator sets the run-aggregated counters once
@@ -189,4 +205,18 @@ func RecordNodeCounters(reg *Registry, c pastry.Counters) {
 		"Half-open breaker probes that failed and reopened the breaker.", c.BreakerReopens)
 	set("mspastry_node_breaker_closes",
 		"Breakers closed by a successful interaction.", c.BreakerCloses)
+	set("mspastry_node_secure_reports",
+		"Root completion reports evaluated by the routing failure test.", c.SecureReports)
+	set("mspastry_node_secure_test_pass",
+		"Root reports that passed the routing failure test.", c.SecureTestPass)
+	set("mspastry_node_secure_test_fail",
+		"Root reports that failed the routing failure test.", c.SecureTestFail)
+	set("mspastry_node_secure_redundant_rounds",
+		"Redundant diverse-path rounds issued for suspect lookups.", c.SecureRedundantRounds)
+	set("mspastry_node_secure_redundant_sends",
+		"Lookup copies sent by redundant diverse-path rounds.", c.SecureRedundantSends)
+	set("mspastry_node_secure_distrusted",
+		"Peers distrusted after a failed test lost the report vote.", c.SecureDistrusted)
+	set("mspastry_node_secure_giveups",
+		"Secure lookups that exhausted every redundant round without an accepted report.", c.SecureGiveUps)
 }
