@@ -24,7 +24,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		which       = flag.String("experiment", "all", "experiment: all, fig3, topo, fig4, fig5, fig5join, fig6, fig7l, fig7b, ablation, selftune, suppression, heartbeat, consistency, massfailure, partitionheal, jitterfp, antientropy, batching, overload, secure, fig8, fig8validate")
+		which       = flag.String("experiment", "all", "experiment: all, fig3, topo, fig4, fig5, fig5join, fig6, fig7l, fig7b, ablation, selftune, suppression, heartbeat, consistency, massfailure, partitionheal, jitterfp, antientropy, batching, overload, secure, hotspot, fig8, fig8validate")
 		topoDiv     = flag.Int("topo-div", 8, "topology scale divisor (1 = paper size)")
 		traceDiv    = flag.Int("trace-div", 16, "trace population divisor (1 = paper size)")
 		maxDur      = flag.Duration("max-dur", 90*time.Minute, "cap on trace duration (0 = full traces; full Gnutella is 60h)")
@@ -38,6 +38,8 @@ func main() {
 		coLong      = flag.Duration("coalesce-long", 2500*time.Millisecond, "batching: delay-tolerant coalescing window (keep < probe timeout To)")
 		aeNodes     = flag.Int("ae-nodes", 100, "antientropy: cluster size")
 		aeObjects   = flag.Int("ae-objects", 1000, "antientropy: stored objects")
+		hsNodes     = flag.Int("hotspot-nodes", 0, "hotspot: cluster size (0 = scale default)")
+		hsDur       = flag.Duration("hotspot-dur", 0, "hotspot: measurement window (0 = scale default)")
 		validateN   = flag.Int("validate-nodes", 8, "fig8validate: overlay size")
 		validateDur = flag.Duration("validate-dur", 15*time.Second, "fig8validate: wall-clock workload duration")
 	)
@@ -220,6 +222,25 @@ func main() {
 		fmt.Fprintln(out, "estimate) flags forged root claims, redundant neighbour-diverse rounds")
 		fmt.Fprintln(out, "route around the colluders, and confirmed liars feed the breakers")
 	}
+	if run("hotspot") {
+		cfg := experiments.DefaultHotspotConfig(scale)
+		if *hsNodes > 0 {
+			cfg.Nodes = *hsNodes
+		}
+		if *hsDur > 0 {
+			cfg.Duration = *hsDur
+		}
+		r := experiments.Hotspot(scale, cfg)
+		experiments.PrintRows(out,
+			fmt.Sprintf("Hotspot mitigation: path caching under zipf(%.1f) (%d nodes, %d keys, %v window)",
+				r.ZipfS, r.Nodes, r.Keys, r.Window.Round(time.Second)),
+			experiments.HotspotCols(), r.Rows())
+		fmt.Fprintf(out, "hot root load factor relieved %.1fx by path caching (bar: >= 2x)\n", r.Relief())
+		fmt.Fprintln(out, "claim: Get replies deposited on the first and penultimate route hops")
+		fmt.Fprintln(out, "short-circuit hot-key lookups before they converge on the key's root,")
+		fmt.Fprintln(out, "version supersession plus the sweep backstop bound staleness to one")
+		fmt.Fprintln(out, "sweep interval, and read floors keep per-client reads monotonic")
+	}
 	if run("fig8") {
 		cfg := experiments.DefaultFig8Config()
 		cfg.Days = *fig8Days
@@ -261,7 +282,7 @@ func cdfRow(label string, r experiments.Fig5JoinCDF, session time.Duration) expe
 }
 
 func isKnown(name string) bool {
-	known := "all fig3 topo fig4 fig5 fig5join fig6 fig7l fig7b ablation selftune suppression heartbeat consistency massfailure partitionheal jitterfp antientropy batching overload secure fig8 fig8validate"
+	known := "all fig3 topo fig4 fig5 fig5join fig6 fig7l fig7b ablation selftune suppression heartbeat consistency massfailure partitionheal jitterfp antientropy batching overload secure hotspot fig8 fig8validate"
 	for _, k := range strings.Fields(known) {
 		if k == name {
 			return true

@@ -68,6 +68,8 @@ func main() {
 		inQueue   = flag.Int("inbound-queue", 0, "bound inbound work at this many messages, shedding lowest-priority-first (0 = unbounded)")
 		secRoute  = flag.Bool("secure-routing", false, "run the routing failure test on lookups issued with slookup, with redundant diverse-path retries")
 		secWrites = flag.Bool("secure-writes", false, "route DHT puts and deletes as secure lookups (requires -secure-routing)")
+		cacheEnt  = flag.Int("cache-entries", 0, "hotspot read-cache capacity in entries (0 = caching off)")
+		cacheHot  = flag.Int("cache-hot-threshold", 0, "popularity estimate at which a key's root deposits cache entries on route hops (0 = default)")
 	)
 	flag.Parse()
 
@@ -86,6 +88,12 @@ func main() {
 		log.Fatalf("-inbound-queue must be >= 0, got %d", *inQueue)
 	case *secWrites && !*secRoute:
 		log.Fatalf("-secure-writes requires -secure-routing")
+	case *cacheEnt < 0:
+		log.Fatalf("-cache-entries must be >= 0, got %d", *cacheEnt)
+	case *cacheHot < 0:
+		log.Fatalf("-cache-hot-threshold must be >= 0, got %d", *cacheHot)
+	case *cacheHot > 0 && *cacheEnt == 0:
+		log.Fatalf("-cache-hot-threshold requires -cache-entries > 0")
 	}
 
 	tr, err := transport.Listen(*listen, *seed)
@@ -118,6 +126,8 @@ func main() {
 	}
 	dhtCfg := dht.DefaultConfig()
 	dhtCfg.SecureWrites = *secWrites
+	dhtCfg.CacheEntries = *cacheEnt
+	dhtCfg.CacheHotThreshold = *cacheHot
 	if *dataDir != "" {
 		// SyncEvery 1 fsyncs each write before the put is acknowledged:
 		// the node is a durability demo first, a throughput demo second.
@@ -150,6 +160,9 @@ func main() {
 			telemetry.RecordNodeCounters(reg, n.Stats())
 			telemetry.RecordDHTCounters(reg, store.Counters(), store.LocalObjects())
 			telemetry.RecordStoreStats(reg, store.StoreStats())
+			if *cacheEnt > 0 {
+				telemetry.RecordHotspotStats(reg, store.CacheStats())
+			}
 			trtGauge.Set(n.Trt().Seconds())
 		})
 	})

@@ -52,6 +52,9 @@ func main() {
 		coalesce  = flag.Duration("coalesce", 0, "control-message coalescing window (0 = one message per datagram)")
 		coalesceL = flag.Duration("coalesce-long", 0, "extended coalescing window for delay-tolerant messages (heartbeats, gossip); keep below the probe timeout")
 		lookups   = flag.Float64("lookups", 0.01, "lookups per second per node")
+		workload  = flag.String("workload", "uniform", "lookup key distribution: uniform, zipf")
+		zipfS     = flag.Float64("zipf-s", 1.0, "zipf exponent for -workload zipf")
+		zipfKeys  = flag.Int("zipf-keys", 1024, "popular key set size for -workload zipf")
 		window    = flag.Duration("window", 10*time.Minute, "metric averaging window")
 		ramp      = flag.Duration("ramp", 5*time.Minute, "setup ramp for the warm start")
 		seed      = flag.Int64("seed", 1, "random seed")
@@ -113,6 +116,12 @@ func main() {
 		log.Fatalf("-coalesce-long (%v) must be >= -coalesce (%v)", *coalesceL, *coalesce)
 	case *lookups < 0:
 		log.Fatalf("-lookups must be >= 0, got %g", *lookups)
+	case *workload != harness.WorkloadUniform && *workload != harness.WorkloadZipf:
+		log.Fatalf("-workload must be uniform or zipf, got %q", *workload)
+	case *zipfS <= 0:
+		log.Fatalf("-zipf-s must be > 0, got %g", *zipfS)
+	case *zipfKeys < 1:
+		log.Fatalf("-zipf-keys must be >= 1, got %d", *zipfKeys)
 	case *window <= 0:
 		log.Fatalf("-window must be positive, got %v", *window)
 	case *ramp < 0:
@@ -200,6 +209,9 @@ func main() {
 	cfg.CoalesceWindow = *coalesce
 	cfg.CoalesceLongWindow = *coalesceL
 	cfg.LookupRate = *lookups
+	cfg.Workload = *workload
+	cfg.ZipfS = *zipfS
+	cfg.ZipfKeys = *zipfKeys
 	cfg.Window = *window
 	cfg.SetupRamp = *ramp
 	cfg.Seed = *seed
@@ -244,6 +256,9 @@ func main() {
 
 	fmt.Printf("# topology=%s (routers=%d) trace=%s (nodes=%d, %v) loss=%.1f%% lookups=%g/s\n",
 		topo.Name(), topo.NumRouters(), tr.Name, tr.Nodes, tr.Duration, *loss*100, *lookups)
+	if *workload == harness.WorkloadZipf {
+		fmt.Printf("# workload=zipf s=%g keys=%d\n", *zipfS, *zipfKeys)
+	}
 	if *malFrac > 0 {
 		fmt.Printf("# adversary: frac=%.2f behaviors=%s secure-routing=%v\n",
 			*malFrac, behaviors, *secRoute)

@@ -24,6 +24,7 @@ import (
 	"sort"
 	"time"
 
+	"mspastry/internal/hotspot"
 	"mspastry/internal/id"
 	"mspastry/internal/pastry"
 	"mspastry/internal/store"
@@ -60,6 +61,15 @@ type Config struct {
 	// strands the object with a colluder, while a misrouted read just
 	// fails and retries. Requires pastry.Config.SecureRouting.
 	SecureWrites bool
+	// CacheEntries enables hotspot path caching (see hotspot.go) and
+	// bounds the cache's entry count. Zero disables the subsystem
+	// entirely: Gets use the plain wire encoding and behave exactly as
+	// before.
+	CacheEntries int
+	// CacheHotThreshold is the popularity-sketch estimate at which a
+	// root starts depositing a key's replies on its route's caching
+	// hops. Zero means the default (4).
+	CacheHotThreshold int
 }
 
 // DefaultConfig returns k=3 replication with 30-second anti-entropy
@@ -95,6 +105,9 @@ type Store struct {
 	nextSync   uint64
 	syncRounds map[uint64]*syncRound
 
+	// hot is the hotspot path-caching state, nil when disabled.
+	hot *hotState
+
 	counters Counters
 }
 
@@ -128,6 +141,17 @@ type Counters struct {
 	// sent by sweeps — control plus repair values — and is the number the
 	// anti-entropy experiment compares across modes.
 	DigestBytes, MaintBytes uint64
+	// Hotspot path caching. CacheHitsLocal counts Gets answered from
+	// this node's own cache without entering the overlay; CacheHitsRemote
+	// counts Gets answered by a caching hop short-circuiting the route;
+	// CacheServes counts lookups this node answered from its cache on
+	// behalf of others. CacheDeposits / CacheInvalidations count entries
+	// pushed to and revoked from caching hops as a root. CachePurged is
+	// the sweep backstop's evictions; CacheStaleRejected counts cached
+	// replies refused for violating a client's monotonic read floor.
+	CacheHitsLocal, CacheHitsRemote, CacheServes   uint64
+	CacheDeposits, CacheInvalidations, CachePurged uint64
+	CacheStaleRejected                             uint64
 }
 
 // Counters returns a snapshot of the store's tallies.
@@ -140,6 +164,9 @@ type pendingOp struct {
 	key     id.ID
 	value   []byte
 	retries int
+	// fresh forces a Get to bypass all caching (client asked for it, or
+	// a cached reply violated the monotonic read floor).
+	fresh   bool
 	timer   pastry.Timer
 	doneErr func(error)
 	doneGet func([]byte, error)
@@ -163,6 +190,9 @@ func New(node *pastry.Node, env pastry.Env, cfg Config) *Store {
 		origin:     node.Ref().ID.Hi,
 		pending:    make(map[uint64]*pendingOp),
 		syncRounds: make(map[uint64]*syncRound),
+	}
+	if cfg.CacheEntries > 0 {
+		s.hot = newHotState(cfg)
 	}
 	node.SetApp(s)
 	s.armSweep()
@@ -204,11 +234,38 @@ func (s *Store) Put(key id.ID, value []byte, done func(error)) {
 }
 
 // Get fetches the value under key with end-to-end acknowledgement; done is
-// called exactly once.
+// called exactly once. With hotspot caching enabled the read may be
+// answered from this node's cache or a caching hop, bounded-stale by at
+// most one sweep interval and never older than a version this node has
+// already read.
 func (s *Store) Get(key id.ID, done func([]byte, error)) {
+	s.get(key, false, done)
+}
+
+// GetFresh fetches the value under key bypassing all hotspot caches:
+// the read is served by the key's root, as if caching were disabled.
+func (s *Store) GetFresh(key id.ID, done func([]byte, error)) {
+	s.get(key, true, done)
+}
+
+func (s *Store) get(key id.ID, fresh bool, done func([]byte, error)) {
 	s.counters.Gets++
+	if !fresh && s.hot != nil {
+		if e, ok := s.hot.cache.Get(key); ok {
+			if s.env.Now()-e.StoredAt <= s.cfg.SweepInterval &&
+				!s.hot.belowFloor(key, e.Version, e.Origin) {
+				s.counters.CacheHitsLocal++
+				s.counters.GetOK++
+				s.hot.raiseFloor(key, e.Version, e.Origin)
+				value := e.Value
+				s.env.Schedule(0, func() { done(value, nil) })
+				return
+			}
+			s.hot.cache.Delete(key) // expired or below the read floor
+		}
+	}
 	s.nextReq++
-	op := &pendingOp{kind: kindGet, key: key, doneGet: done}
+	op := &pendingOp{kind: kindGet, key: key, fresh: fresh, doneGet: done}
 	s.pending[s.nextReq] = op
 	s.sendOp(s.nextReq, op)
 }
@@ -231,7 +288,13 @@ func (s *Store) sendOp(reqID uint64, op *pendingOp) {
 	case kindPut:
 		payload = encodePut(reqID, op.value)
 	case kindGet:
-		payload = encodeGet(reqID)
+		if s.hot != nil && !op.fresh {
+			// Cache-aware read: accumulate caching hops along the route so
+			// the root knows where to deposit hot replies.
+			payload = hotspot.EncodeGetVia(reqID, nil)
+		} else {
+			payload = encodeGet(reqID)
+		}
 	case kindDelete:
 		payload = encodeDelete(reqID)
 	}
@@ -300,6 +363,10 @@ func (s *Store) finish(reqID uint64, value []byte, err error) {
 // Deliver implements pastry.App: the node is the root for the requested
 // key and assigns versions.
 func (s *Store) Deliver(lk *pastry.Lookup) {
+	if len(lk.Payload) > 0 && lk.Payload[0] == hotspot.KindGetVia {
+		s.deliverGetVia(lk)
+		return
+	}
 	kind, reqID, value, ok := decodeRequest(lk.Payload)
 	if !ok {
 		return
@@ -313,6 +380,7 @@ func (s *Store) Deliver(lk *pastry.Lookup) {
 			return // durable write failed: no ack, the client retries
 		}
 		s.replicate(obj)
+		s.invalidateCached(obj)
 		s.reply(lk.Origin, encodePutAck(reqID))
 	case kindDelete:
 		// Write the tombstone even for a key we have never seen: a replica
@@ -326,6 +394,7 @@ func (s *Store) Deliver(lk *pastry.Lookup) {
 				return
 			}
 			s.replicate(tomb)
+			s.invalidateCached(tomb)
 		}
 		s.reply(lk.Origin, encodeDeleteAck(reqID))
 	case kindGet:
@@ -343,8 +412,15 @@ func (s *Store) reply(to pastry.NodeRef, payload []byte) {
 	s.node.SendDirect(to, payload)
 }
 
-// Forward implements pastry.App: the store does not intercept routing.
-func (s *Store) Forward(*pastry.Lookup) bool { return true }
+// Forward implements pastry.App: cache-aware Gets may be served from
+// this node's hotspot cache mid-route (consuming the lookup) or record
+// this node as a caching hop; everything else routes untouched.
+func (s *Store) Forward(lk *pastry.Lookup) bool {
+	if s.hot == nil || len(lk.Payload) == 0 || lk.Payload[0] != hotspot.KindGetVia {
+		return true
+	}
+	return s.hotspotForward(lk)
+}
 
 // Direct implements pastry.App: end-to-end responses, replica pushes, and
 // the anti-entropy/handoff protocol.
@@ -357,8 +433,17 @@ func (s *Store) Direct(from pastry.NodeRef, payload []byte) {
 		if o, ok := decodeReplicate(payload); ok {
 			if applied, _ := s.backend.Apply(o); applied {
 				s.counters.ReplicasApplied++
+				if s.hot != nil {
+					// A replica push or repair superseding a cached read
+					// invalidates it (anti-entropy as invalidation backstop).
+					s.hot.cache.InvalidateUnder(o.Key, o.Version, o.Origin)
+				}
 			}
 		}
+	case hotspot.KindDeposit:
+		s.onDeposit(payload)
+	case hotspot.KindInvalidate:
+		s.onInvalidate(payload)
 	case kindSyncRoot:
 		s.onSyncRoot(from, payload)
 	case kindSyncRootOK:
@@ -382,6 +467,8 @@ func (s *Store) Direct(from pastry.NodeRef, payload []byte) {
 
 func (s *Store) handleResponse(payload []byte) {
 	switch payload[0] {
+	case hotspot.KindCachedReply:
+		s.onCachedReply(payload)
 	case kindPutAck:
 		if reqID, ok := decodePutAck(payload); ok {
 			s.finish(reqID, nil, nil)
@@ -439,6 +526,7 @@ func (s *Store) armSweep() {
 		if !s.node.Alive() {
 			return
 		}
+		s.purgeHotspot()
 		s.sweep()
 		s.armSweep()
 	})

@@ -77,6 +77,16 @@ type Config struct {
 	// MaliciousBehaviors selects the attacks mounted by malicious nodes;
 	// zero defaults to netmodel.AdvAll when MaliciousFraction > 0.
 	MaliciousBehaviors netmodel.Behavior
+	// Workload selects the lookup key distribution: WorkloadUniform
+	// (empty means uniform, the paper's model) or WorkloadZipf. The
+	// uniform path is byte-for-byte the pre-workload behaviour.
+	Workload string
+	// ZipfS is the zipf exponent for WorkloadZipf; zero means 1.0
+	// (classic web popularity).
+	ZipfS float64
+	// ZipfKeys is the popular key set size for WorkloadZipf; zero means
+	// 1024.
+	ZipfKeys int
 	// Seed seeds all randomness (ids, lookup keys, loss, faults,
 	// adversary selection).
 	Seed int64
@@ -171,6 +181,10 @@ type run struct {
 	// adv is the configured Byzantine adversary (nil when
 	// cfg.MaliciousFraction is zero).
 	adv *netmodel.Adversary
+
+	// zipf samples lookup keys when cfg.Workload is WorkloadZipf (nil
+	// for the uniform workload).
+	zipf *Zipf
 }
 
 type slot struct {
@@ -215,6 +229,25 @@ func newRun(cfg Config) *run {
 	first := cfg.Topo.Attach(cfg.Trace.Nodes, sim.Rand())
 	for i := range r.slots {
 		r.slots[i] = &slot{ep: nw.NewEndpoint(first + i)}
+	}
+	switch cfg.Workload {
+	case "", WorkloadUniform:
+		// Uniform keys: the pre-workload behaviour, untouched.
+	case WorkloadZipf:
+		s := cfg.ZipfS
+		if s == 0 {
+			s = 1.0
+		}
+		n := cfg.ZipfKeys
+		if n == 0 {
+			n = 1024
+		}
+		// The popular key set comes from a dedicated stream keyed off
+		// cfg.Seed, so zipf runs stay reproducible without perturbing
+		// the simulator's other draws.
+		r.zipf = NewZipf(cfg.Seed, n, s)
+	default:
+		panic("harness: unknown workload " + cfg.Workload)
 	}
 	if cfg.MaliciousFraction > 0 {
 		if cfg.MaliciousFraction >= 1 {
@@ -431,6 +464,15 @@ func (r *run) randomActiveRef() (pastry.NodeRef, bool) {
 }
 
 // scheduleLookups runs the Poisson lookup generator for a node.
+// nextKey draws one lookup key from the configured workload. The
+// uniform branch is byte-identical to the pre-workload draw sequence.
+func (r *run) nextKey() id.ID {
+	if r.zipf != nil {
+		return r.zipf.Next(r.sim.Rand())
+	}
+	return id.Random(r.sim.Rand())
+}
+
 func (r *run) scheduleLookups(n *pastry.Node) {
 	if r.cfg.LookupRate <= 0 {
 		return
@@ -441,7 +483,7 @@ func (r *run) scheduleLookups(n *pastry.Node) {
 		if !n.Alive() {
 			return
 		}
-		key := id.Random(r.sim.Rand())
+		key := r.nextKey()
 		seq, ok := n.Lookup(key, nil)
 		if ok {
 			lk := lookupKey{origin: n.Ref().Addr, seq: seq}

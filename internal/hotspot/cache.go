@@ -1,0 +1,350 @@
+package hotspot
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"mspastry/internal/id"
+	"mspastry/internal/store"
+)
+
+// Entry is one cached versioned read: the value plus the version vector
+// (Version, Origin) and digest the key's root assigned, so invalidation
+// by supersession and anti-entropy purging can reason about freshness
+// without re-fetching.
+type Entry struct {
+	Key     id.ID
+	Version uint64
+	Origin  uint64
+	Dig     store.Digest
+	Value   []byte
+	// StoredAt is the (simulated or wall) time the entry was cached,
+	// expressed as a duration since process start. Callers enforce any
+	// TTL; the cache only uses it for PurgeOlderThan.
+	StoredAt time.Duration
+}
+
+// Newer reports whether version vector (v, o) strictly supersedes
+// (ev, eo), using the same version-then-origin total order as
+// store.Object.Supersedes.
+func Newer(v, o, ev, eo uint64) bool {
+	if v != ev {
+		return v > ev
+	}
+	return o > eo
+}
+
+// Config shapes a Cache.
+type Config struct {
+	// Capacity bounds the total entry count across all shards.
+	Capacity int
+	// Shards is the number of independently locked segments (rounded up
+	// to a power of two, minimum 1).
+	Shards int
+	// Admission enables TinyLFU frequency admission: a full shard only
+	// evicts its victim when the incoming key's sketch estimate exceeds
+	// the victim's. When false the cache is a plain segmented LRU.
+	Admission bool
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits          uint64
+	Misses        uint64
+	Admitted      uint64
+	Rejected      uint64
+	Evictions     uint64
+	Invalidations uint64
+	Purged        uint64
+	Entries       int
+	Capacity      int
+	// SketchOccupancy is the popularity sketch's non-zero fraction
+	// (zero when admission is disabled).
+	SketchOccupancy float64
+}
+
+// HitRatio returns hits / (hits + misses), or 0 with no traffic.
+func (s Stats) HitRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Cache is a sharded, size-bounded cache of versioned entries with
+// segmented-LRU eviction (probation + protected segments, as in SLRU)
+// and optional TinyLFU admission backed by the count-min Sketch.
+type Cache struct {
+	shards    []*shard
+	shardMask uint64
+	capacity  int
+
+	mu     sync.Mutex // guards sketch
+	sketch *Sketch
+}
+
+type shard struct {
+	mu        sync.Mutex
+	cap       int
+	protCap   int
+	items     map[id.ID]*list.Element
+	probation *list.List // new arrivals; victims come from here first
+	protected *list.List // re-referenced entries
+
+	hits, misses, admitted, rejected, evictions, invalidations, purged uint64
+}
+
+type slot struct {
+	entry     Entry
+	protected bool
+}
+
+// New builds a cache from cfg, normalizing degenerate values (capacity
+// and shard count are clamped to at least 1).
+func New(cfg Config) *Cache {
+	if cfg.Capacity < 1 {
+		cfg.Capacity = 1
+	}
+	ns := 1
+	for ns < cfg.Shards {
+		ns <<= 1
+	}
+	c := &Cache{shardMask: uint64(ns - 1), capacity: cfg.Capacity}
+	if cfg.Admission {
+		c.sketch = NewSketch(cfg.Capacity, 4)
+	}
+	per := (cfg.Capacity + ns - 1) / ns
+	for i := 0; i < ns; i++ {
+		protCap := per * 4 / 5
+		if protCap >= per {
+			protCap = per - 1
+		}
+		c.shards = append(c.shards, &shard{
+			cap:       per,
+			protCap:   protCap,
+			items:     make(map[id.ID]*list.Element),
+			probation: list.New(),
+			protected: list.New(),
+		})
+	}
+	return c
+}
+
+func (c *Cache) shardFor(key id.ID) *shard {
+	return c.shards[mix(key.Hi^key.Lo)&c.shardMask]
+}
+
+// Touch records one observation of key in the popularity sketch without
+// touching the cache proper. No-op when admission is disabled.
+func (c *Cache) Touch(key id.ID) {
+	if c.sketch == nil {
+		return
+	}
+	c.mu.Lock()
+	c.sketch.Add(key)
+	c.mu.Unlock()
+}
+
+// Estimate returns the popularity sketch's estimate for key (0 when
+// admission is disabled).
+func (c *Cache) Estimate(key id.ID) uint32 {
+	if c.sketch == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sketch.Estimate(key)
+}
+
+// Get returns the cached entry for key, promoting it into the
+// protected segment. Staleness (TTL) is the caller's concern.
+func (c *Cache) Get(key id.ID) (Entry, bool) {
+	c.Touch(key)
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.items[key]
+	if !ok {
+		sh.misses++
+		return Entry{}, false
+	}
+	sh.hits++
+	sh.promote(el)
+	return el.Value.(*slot).entry, true
+}
+
+// promote moves a hit entry to the protected segment's front, demoting
+// the protected LRU back to probation if the segment overflows.
+func (sh *shard) promote(el *list.Element) {
+	s := el.Value.(*slot)
+	if s.protected {
+		sh.protected.MoveToFront(el)
+		return
+	}
+	sh.probation.Remove(el)
+	s.protected = true
+	sh.items[s.entry.Key] = sh.protected.PushFront(s)
+	for sh.protected.Len() > sh.protCap {
+		back := sh.protected.Back()
+		bs := back.Value.(*slot)
+		sh.protected.Remove(back)
+		bs.protected = false
+		sh.items[bs.entry.Key] = sh.probation.PushFront(bs)
+	}
+}
+
+// Put inserts or refreshes an entry and reports whether it resides in
+// the cache afterwards. An existing strictly-newer version is never
+// downgraded; a full shard consults the admission sketch (when enabled)
+// before evicting its victim.
+func (c *Cache) Put(e Entry) bool {
+	if c.sketch != nil {
+		c.mu.Lock()
+		c.sketch.Add(e.Key)
+		c.mu.Unlock()
+	}
+	sh := c.shardFor(e.Key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.items[e.Key]; ok {
+		s := el.Value.(*slot)
+		if Newer(s.entry.Version, s.entry.Origin, e.Version, e.Origin) {
+			return true // cached copy already supersedes the incoming one
+		}
+		s.entry = e
+		if s.protected {
+			sh.protected.MoveToFront(el)
+		} else {
+			sh.probation.MoveToFront(el)
+		}
+		return true
+	}
+	if sh.probation.Len()+sh.protected.Len() >= sh.cap {
+		victim := sh.probation.Back()
+		fromProbation := victim != nil
+		if victim == nil {
+			victim = sh.protected.Back()
+		}
+		if victim == nil {
+			return false
+		}
+		vs := victim.Value.(*slot)
+		if c.sketch != nil {
+			c.mu.Lock()
+			keep := c.sketch.Estimate(e.Key) <= c.sketch.Estimate(vs.entry.Key)
+			c.mu.Unlock()
+			if keep {
+				sh.rejected++
+				return false
+			}
+		}
+		if fromProbation {
+			sh.probation.Remove(victim)
+		} else {
+			sh.protected.Remove(victim)
+		}
+		delete(sh.items, vs.entry.Key)
+		sh.evictions++
+	}
+	sh.items[e.Key] = sh.probation.PushFront(&slot{entry: e})
+	sh.admitted++
+	return true
+}
+
+// InvalidateUnder removes the cached entry for key if version vector
+// (version, origin) strictly supersedes it, reporting whether an entry
+// was dropped.
+func (c *Cache) InvalidateUnder(key id.ID, version, origin uint64) bool {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.items[key]
+	if !ok {
+		return false
+	}
+	s := el.Value.(*slot)
+	if !Newer(version, origin, s.entry.Version, s.entry.Origin) {
+		return false
+	}
+	sh.remove(el)
+	sh.invalidations++
+	return true
+}
+
+// Delete unconditionally removes key's entry.
+func (c *Cache) Delete(key id.ID) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.items[key]; ok {
+		sh.remove(el)
+	}
+}
+
+func (sh *shard) remove(el *list.Element) {
+	s := el.Value.(*slot)
+	if s.protected {
+		sh.protected.Remove(el)
+	} else {
+		sh.probation.Remove(el)
+	}
+	delete(sh.items, s.entry.Key)
+}
+
+// PurgeOlderThan drops every entry stored before cutoff and returns the
+// number purged. This is the anti-entropy backstop: run once per sweep
+// interval, no cached entry can outlive one interval.
+func (c *Cache) PurgeOlderThan(cutoff time.Duration) int {
+	total := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		var stale []*list.Element
+		for _, el := range sh.items {
+			if el.Value.(*slot).entry.StoredAt < cutoff {
+				stale = append(stale, el)
+			}
+		}
+		for _, el := range stale {
+			sh.remove(el)
+		}
+		sh.purged += uint64(len(stale))
+		total += len(stale)
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += len(sh.items)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats aggregates counters across shards.
+func (c *Cache) Stats() Stats {
+	st := Stats{Capacity: c.capacity}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		st.Hits += sh.hits
+		st.Misses += sh.misses
+		st.Admitted += sh.admitted
+		st.Rejected += sh.rejected
+		st.Evictions += sh.evictions
+		st.Invalidations += sh.invalidations
+		st.Purged += sh.purged
+		st.Entries += len(sh.items)
+		sh.mu.Unlock()
+	}
+	if c.sketch != nil {
+		c.mu.Lock()
+		st.SketchOccupancy = c.sketch.Occupancy()
+		c.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,205 @@
+package hotspot
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"mspastry/internal/id"
+	"mspastry/internal/store"
+)
+
+func key(i uint64) id.ID { return id.New(i, i*2654435761+1) }
+
+func TestSketchCountsAndAges(t *testing.T) {
+	s := NewSketch(64, 4)
+	hot := key(1)
+	for i := 0; i < 20; i++ {
+		s.Add(hot)
+	}
+	if got := s.Estimate(hot); got < 20 {
+		t.Fatalf("estimate for hot key = %d, want >= 20", got)
+	}
+	if got := s.Estimate(key(999)); got > 20 {
+		t.Fatalf("cold key estimate = %d, should not exceed hot traffic", got)
+	}
+	// Drive past the aging sample size; the hot estimate must halve at
+	// least once rather than grow without bound.
+	for i := uint64(0); i < uint64(s.limit); i++ {
+		s.Add(key(100 + i%50))
+	}
+	if got := s.Estimate(hot); got >= 20 {
+		t.Fatalf("estimate after aging = %d, want < 20", got)
+	}
+	if occ := s.Occupancy(); occ <= 0 || occ > 1 {
+		t.Fatalf("occupancy = %v, want in (0, 1]", occ)
+	}
+}
+
+func TestSketchDeterministic(t *testing.T) {
+	a, b := NewSketch(64, 4), NewSketch(64, 4)
+	for i := uint64(0); i < 1000; i++ {
+		k := key(i % 37)
+		a.Add(k)
+		b.Add(k)
+	}
+	for i := uint64(0); i < 37; i++ {
+		if a.Estimate(key(i)) != b.Estimate(key(i)) {
+			t.Fatalf("estimates diverged for key %d", i)
+		}
+	}
+}
+
+func TestCacheSegmentedLRU(t *testing.T) {
+	c := New(Config{Capacity: 3, Shards: 1})
+	for i := uint64(0); i < 3; i++ {
+		c.Put(Entry{Key: key(i), Version: 1})
+	}
+	// Re-reference key 0: it moves to the protected segment and must
+	// survive a stream of one-hit wonders that churn probation.
+	if _, ok := c.Get(key(0)); !ok {
+		t.Fatal("key 0 missing after insert")
+	}
+	for i := uint64(10); i < 20; i++ {
+		c.Put(Entry{Key: key(i), Version: 1})
+	}
+	if _, ok := c.Get(key(0)); !ok {
+		t.Fatal("protected key 0 was evicted by probation churn")
+	}
+	if got := c.Len(); got != 3 {
+		t.Fatalf("len = %d, want 3", got)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 || st.Admitted == 0 {
+		t.Fatalf("stats did not record churn: %+v", st)
+	}
+}
+
+func TestCacheAdmissionFiltersOneHitWonders(t *testing.T) {
+	c := New(Config{Capacity: 4, Shards: 1, Admission: true})
+	hot := key(1)
+	for i := 0; i < 10; i++ {
+		c.Touch(hot)
+	}
+	c.Put(Entry{Key: hot, Version: 1})
+	for i := uint64(100); i < 120; i++ {
+		c.Put(Entry{Key: key(i), Version: 1})
+	}
+	if _, ok := c.Get(hot); !ok {
+		t.Fatal("hot key evicted by cold scan despite admission filter")
+	}
+	if st := c.Stats(); st.Rejected == 0 {
+		t.Fatalf("admission filter never rejected: %+v", st)
+	}
+	if c.Estimate(hot) == 0 {
+		t.Fatal("estimate for touched key is zero")
+	}
+}
+
+func TestCacheVersionSupersession(t *testing.T) {
+	c := New(Config{Capacity: 8, Shards: 1})
+	k := key(7)
+	c.Put(Entry{Key: k, Version: 3, Origin: 9, Value: []byte("v3")})
+
+	// An older deposit must not downgrade the cached version.
+	c.Put(Entry{Key: k, Version: 2, Origin: 50, Value: []byte("v2")})
+	if e, _ := c.Get(k); e.Version != 3 {
+		t.Fatalf("cache downgraded to version %d", e.Version)
+	}
+
+	// Invalidation below or at the cached version is a no-op.
+	if c.InvalidateUnder(k, 3, 9) {
+		t.Fatal("invalidated by an equal version")
+	}
+	if c.InvalidateUnder(k, 2, 99) {
+		t.Fatal("invalidated by an older version")
+	}
+	// Same version, higher origin wins (diverged-root tiebreak).
+	if !c.InvalidateUnder(k, 3, 10) {
+		t.Fatal("same-version higher-origin write did not invalidate")
+	}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("entry still cached after supersession")
+	}
+	if st := c.Stats(); st.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", st.Invalidations)
+	}
+}
+
+func TestCachePurgeOlderThan(t *testing.T) {
+	c := New(Config{Capacity: 8, Shards: 2})
+	for i := uint64(0); i < 6; i++ {
+		c.Put(Entry{Key: key(i), Version: 1, StoredAt: time.Duration(i) * time.Second})
+	}
+	if got := c.PurgeOlderThan(3 * time.Second); got != 3 {
+		t.Fatalf("purged %d entries, want 3", got)
+	}
+	if _, ok := c.Get(key(2)); ok {
+		t.Fatal("stale entry survived purge")
+	}
+	if _, ok := c.Get(key(4)); !ok {
+		t.Fatal("fresh entry lost by purge")
+	}
+}
+
+func TestCodecRoundTrips(t *testing.T) {
+	vias := []Via{{ID: key(1), Addr: "10.0.0.1:9000"}, {ID: key(2), Addr: "10.0.0.2:9000"}}
+	buf := EncodeGetVia(42, vias)
+	reqID, got, ok := DecodeGetVia(buf)
+	if !ok || reqID != 42 || len(got) != 2 || got[0] != vias[0] || got[1] != vias[1] {
+		t.Fatalf("GetVia roundtrip: ok=%v reqID=%d vias=%v", ok, reqID, got)
+	}
+
+	dig := store.Object{Key: key(3), Version: 5, Value: []byte("x")}.Digest()
+	buf = EncodeCachedReply(7, true, true, 5, 11, dig, []byte("hello"))
+	reqID, found, fromCache, ver, org, gotDig, val, ok := DecodeCachedReply(buf)
+	if !ok || reqID != 7 || !found || !fromCache || ver != 5 || org != 11 ||
+		gotDig != dig || !bytes.Equal(val, []byte("hello")) {
+		t.Fatalf("CachedReply roundtrip failed: %v %v %v %v %d %d", ok, reqID, found, fromCache, ver, org)
+	}
+	// Not-found replies must carry no value.
+	if _, _, _, _, _, _, _, ok := DecodeCachedReply(EncodeCachedReply(7, false, false, 0, 0, store.Digest{}, []byte("x"))); ok {
+		t.Fatal("accepted not-found reply with a value")
+	}
+
+	e := Entry{Key: key(4), Version: 9, Origin: 3, Dig: dig, Value: []byte("payload")}
+	dec, ok := DecodeDeposit(EncodeDeposit(e))
+	if !ok || dec.Key != e.Key || dec.Version != 9 || dec.Origin != 3 || dec.Dig != dig || !bytes.Equal(dec.Value, e.Value) {
+		t.Fatalf("Deposit roundtrip failed: %+v", dec)
+	}
+	if _, ok := DecodeDeposit(EncodeDeposit(Entry{Key: key(4), Version: 0})); ok {
+		t.Fatal("accepted version-0 deposit")
+	}
+
+	k, ver, org, ok := DecodeInvalidate(EncodeInvalidate(key(5), 6, 12))
+	if !ok || k != key(5) || ver != 6 || org != 12 {
+		t.Fatalf("Invalidate roundtrip: %v %v %d %d", ok, k, ver, org)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{},
+		{KindGetVia},
+		{KindCachedReply, 0xff, 1},
+		{KindDeposit, 1, 2, 3},
+		{KindInvalidate, 0},
+		append(EncodeInvalidate(key(1), 1, 1), 0xaa), // trailing byte
+		EncodeGetVia(1, nil)[:2],
+	}
+	for i, buf := range bad {
+		if _, _, ok := DecodeGetVia(buf); ok && len(buf) > 0 && buf[0] == KindGetVia {
+			t.Errorf("case %d: DecodeGetVia accepted garbage", i)
+		}
+		if _, _, _, _, _, _, _, ok := DecodeCachedReply(buf); ok && len(buf) > 0 && buf[0] == KindCachedReply {
+			t.Errorf("case %d: DecodeCachedReply accepted garbage", i)
+		}
+		if _, ok := DecodeDeposit(buf); ok && len(buf) > 0 && buf[0] == KindDeposit {
+			t.Errorf("case %d: DecodeDeposit accepted garbage", i)
+		}
+		if _, _, _, ok := DecodeInvalidate(buf); ok && len(buf) > 0 && buf[0] == KindInvalidate {
+			t.Errorf("case %d: DecodeInvalidate accepted garbage", i)
+		}
+	}
+}

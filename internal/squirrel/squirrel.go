@@ -11,10 +11,10 @@
 package squirrel
 
 import (
-	"container/list"
 	"encoding/binary"
 	"fmt"
 
+	"mspastry/internal/hotspot"
 	"mspastry/internal/id"
 	"mspastry/internal/pastry"
 )
@@ -79,9 +79,9 @@ type Proxy struct {
 	origin Origin
 
 	// home cache: objects this node stores as home node.
-	home *lru
+	home *hotspot.Cache
 	// local cache: objects this node requested recently (browser cache).
-	local *lru
+	local *hotspot.Cache
 
 	nextReq uint64
 	pending map[uint64]pendingReq
@@ -106,8 +106,8 @@ func New(node *pastry.Node, origin Origin, cfg Config) *Proxy {
 	p := &Proxy{
 		node:    node,
 		origin:  origin,
-		home:    newLRU(cfg.HomeCacheEntries),
-		local:   newLRU(cfg.LocalCacheEntries),
+		home:    newBodyCache(cfg.HomeCacheEntries),
+		local:   newBodyCache(cfg.LocalCacheEntries),
 		pending: make(map[uint64]pendingReq),
 	}
 	node.SetApp(p)
@@ -126,9 +126,9 @@ func (p *Proxy) Node() *pastry.Node { return p.node }
 func (p *Proxy) Get(url string, done func(body []byte, outcome Outcome)) {
 	p.stats.Requests++
 	key := id.FromKey(url)
-	if body, ok := p.local.get(key); ok {
+	if e, ok := p.local.Get(key); ok {
 		p.stats.LocalHits++
-		done(body, HitLocal)
+		done(e.Value, HitLocal)
 		return
 	}
 	p.nextReq++
@@ -150,7 +150,8 @@ func (p *Proxy) Deliver(lk *pastry.Lookup) {
 		return // not a squirrel request (foreign traffic on a shared ring)
 	}
 	p.stats.HomeServes++
-	body, hit := p.home.get(lk.Key)
+	e, hit := p.home.Get(lk.Key)
+	body := e.Value
 	if !hit {
 		fetched, err := p.origin.Fetch(url)
 		if err != nil {
@@ -159,7 +160,7 @@ func (p *Proxy) Deliver(lk *pastry.Lookup) {
 		}
 		p.stats.HomeFetches++
 		body = fetched
-		p.home.put(lk.Key, body)
+		p.home.Put(hotspot.Entry{Key: lk.Key, Value: body})
 	}
 	outcome := HitRemote
 	if !hit {
@@ -206,7 +207,7 @@ func (p *Proxy) complete(reqID uint64, body []byte, outcome Outcome) {
 		p.stats.Failures++
 	}
 	if outcome != Failed && body != nil {
-		p.local.put(req.key, body)
+		p.local.Put(hotspot.Entry{Key: req.key, Value: body})
 	}
 	req.done(body, outcome)
 }
@@ -258,47 +259,9 @@ func decodeResponse(buf []byte) (reqID uint64, body []byte, outcome Outcome, ok 
 	return v, buf[2+n:], outcome, true
 }
 
-// lru is a size-bounded least-recently-used cache keyed by object id.
-type lru struct {
-	max   int
-	order *list.List
-	items map[id.ID]*list.Element
+// newBodyCache builds a proxy body cache on the shared hotspot cache:
+// single shard, segmented-LRU eviction, no frequency admission (the
+// Squirrel model is a plain bounded cache).
+func newBodyCache(max int) *hotspot.Cache {
+	return hotspot.New(hotspot.Config{Capacity: max, Shards: 1})
 }
-
-type lruEntry struct {
-	key  id.ID
-	body []byte
-}
-
-func newLRU(max int) *lru {
-	if max < 1 {
-		max = 1
-	}
-	return &lru{max: max, order: list.New(), items: make(map[id.ID]*list.Element)}
-}
-
-func (c *lru) get(key id.ID) ([]byte, bool) {
-	el, ok := c.items[key]
-	if !ok {
-		return nil, false
-	}
-	c.order.MoveToFront(el)
-	return el.Value.(*lruEntry).body, true
-}
-
-func (c *lru) put(key id.ID, body []byte) {
-	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry).body = body
-		c.order.MoveToFront(el)
-		return
-	}
-	el := c.order.PushFront(&lruEntry{key: key, body: body})
-	c.items[key] = el
-	if c.order.Len() > c.max {
-		last := c.order.Back()
-		c.order.Remove(last)
-		delete(c.items, last.Value.(*lruEntry).key)
-	}
-}
-
-func (c *lru) len() int { return c.order.Len() }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mspastry/internal/eventsim"
+	"mspastry/internal/hotspot"
 	"mspastry/internal/id"
 	"mspastry/internal/netmodel"
 	"mspastry/internal/pastry"
@@ -196,28 +197,28 @@ func TestRequesterIsOwnHomeNode(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	c := newLRU(3)
+	c := newBodyCache(3)
 	keys := make([]id.ID, 5)
 	for i := range keys {
 		keys[i] = id.New(0, uint64(i+1))
-		c.put(keys[i], []byte{byte(i)})
+		c.Put(hotspot.Entry{Key: keys[i], Value: []byte{byte(i)}})
 	}
-	if c.len() != 3 {
-		t.Fatalf("lru len = %d, want 3", c.len())
+	if c.Len() != 3 {
+		t.Fatalf("lru len = %d, want 3", c.Len())
 	}
-	if _, ok := c.get(keys[0]); ok {
+	if _, ok := c.Get(keys[0]); ok {
 		t.Fatal("oldest entry not evicted")
 	}
-	if _, ok := c.get(keys[4]); !ok {
+	if _, ok := c.Get(keys[4]); !ok {
 		t.Fatal("newest entry missing")
 	}
 	// Touch key 2 then insert: key 3 should be the eviction victim.
-	c.get(keys[2])
-	c.put(id.New(0, 99), nil)
-	if _, ok := c.get(keys[2]); !ok {
+	c.Get(keys[2])
+	c.Put(hotspot.Entry{Key: id.New(0, 99)})
+	if _, ok := c.Get(keys[2]); !ok {
 		t.Fatal("recently used entry evicted")
 	}
-	if _, ok := c.get(keys[3]); ok {
+	if _, ok := c.Get(keys[3]); ok {
 		t.Fatal("LRU order not respected")
 	}
 }

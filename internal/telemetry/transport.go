@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"mspastry/internal/dht"
+	"mspastry/internal/hotspot"
 	"mspastry/internal/overload"
 	"mspastry/internal/pastry"
 	"mspastry/internal/store"
@@ -147,6 +148,34 @@ func RecordDHTCounters(reg *Registry, c dht.Counters, localObjects int) {
 	set("mspastry_dht_sync_digest_bytes", "Anti-entropy and handoff control bytes sent.", float64(c.DigestBytes))
 	set("mspastry_dht_maintenance_bytes", "All sweep maintenance bytes sent (control plus repair values).", float64(c.MaintBytes))
 	set("mspastry_dht_local_objects", "Objects currently stored on this node.", float64(localObjects))
+	set("mspastry_dht_cache_hits_local", "Gets answered from this node's own hotspot cache.", float64(c.CacheHitsLocal))
+	set("mspastry_dht_cache_hits_remote", "Gets answered by a caching hop short-circuiting the route.", float64(c.CacheHitsRemote))
+	set("mspastry_dht_cache_serves", "Lookups this node answered from its cache for other nodes.", float64(c.CacheServes))
+	set("mspastry_dht_cache_deposits", "Entries this node deposited on caching hops as a root.", float64(c.CacheDeposits))
+	set("mspastry_dht_cache_invalidations", "Invalidations sent to caching hops after writes.", float64(c.CacheInvalidations))
+	set("mspastry_dht_cache_purged", "Cached entries evicted by the sweep staleness backstop.", float64(c.CachePurged))
+	set("mspastry_dht_cache_stale_rejected", "Cached replies refused for violating the monotonic read floor.", float64(c.CacheStaleRejected))
+}
+
+// RecordHotspotStats copies the hotspot cache's internal counters into
+// the registry (hit ratio, admission outcomes, sketch occupancy). Run
+// it from a Registry.OnCollect hook alongside RecordDHTCounters when
+// caching is enabled.
+func RecordHotspotStats(reg *Registry, st hotspot.Stats) {
+	set := func(name, help string, v float64) {
+		reg.Gauge(name, help).Set(v)
+	}
+	set("mspastry_hotspot_cache_entries", "Entries currently in the hotspot cache.", float64(st.Entries))
+	set("mspastry_hotspot_cache_capacity", "Configured hotspot cache capacity.", float64(st.Capacity))
+	set("mspastry_hotspot_cache_hits", "Hotspot cache lookup hits.", float64(st.Hits))
+	set("mspastry_hotspot_cache_misses", "Hotspot cache lookup misses.", float64(st.Misses))
+	set("mspastry_hotspot_cache_hit_ratio", "Hotspot cache hit ratio (hits over hits plus misses).", st.HitRatio())
+	set("mspastry_hotspot_cache_admitted", "Entries admitted by the TinyLFU filter.", float64(st.Admitted))
+	set("mspastry_hotspot_cache_rejected", "Entries rejected by the TinyLFU filter.", float64(st.Rejected))
+	set("mspastry_hotspot_cache_evictions", "Entries evicted by segmented-LRU pressure.", float64(st.Evictions))
+	set("mspastry_hotspot_cache_invalidations", "Entries dropped by version supersession.", float64(st.Invalidations))
+	set("mspastry_hotspot_cache_purged_total", "Entries dropped by the sweep staleness backstop.", float64(st.Purged))
+	set("mspastry_hotspot_sketch_occupancy", "Fraction of non-zero popularity sketch counters.", st.SketchOccupancy)
 }
 
 // RecordStoreStats copies the object-store backend's state into the
