@@ -46,6 +46,7 @@ import (
 	"mspastry/internal/id"
 	"mspastry/internal/overload"
 	"mspastry/internal/pastry"
+	"mspastry/internal/peer"
 	objstore "mspastry/internal/store"
 	"mspastry/internal/telemetry"
 	"mspastry/internal/transport"
@@ -158,6 +159,7 @@ func main() {
 				return
 			}
 			telemetry.RecordNodeCounters(reg, n.Stats())
+			telemetry.RecordPeerStats(reg, n.PeerStats())
 			telemetry.RecordDHTCounters(reg, store.Counters(), store.LocalObjects())
 			telemetry.RecordStoreStats(reg, store.StoreStats())
 			if *cacheEnt > 0 {
@@ -327,6 +329,10 @@ type nodeStatus struct {
 	LocalObjects   int            `json:"local_objects"`
 	Store          storeStatus    `json:"store"`
 	Overload       overloadStatus `json:"overload"`
+	// Peers is the per-peer state registry's cardinality and prune
+	// economics: live record count by lifecycle class, sweep/eviction
+	// counters, and the per-component slot breakdown.
+	Peers peer.Stats `json:"peers"`
 }
 
 // overloadStatus reports the overload-protection layer on /status: the
@@ -379,6 +385,7 @@ func statusSnapshot(tr *transport.UDP, store *dht.Store, durable bool) nodeStatu
 			s.RoutingRows = append(s.RoutingRows, ids)
 		}
 		s.LocalObjects = store.LocalObjects()
+		s.Peers = n.PeerStats()
 		shed, panics := tr.OverloadStats()
 		s.Overload = overloadStatus{
 			ShedByLane:    make(map[string]uint64, len(shed)),
@@ -449,6 +456,9 @@ func printStatus(reg *telemetry.Registry, tr *transport.UDP, store *dht.Store, d
 		s.Overload.LoadFactor, shedTotal, s.Overload.HandlerPanics,
 		s.Overload.Breakers.Open, s.Overload.Breakers.HalfOpen, s.Overload.Breakers.Tripping,
 		m["mspastry_node_retry_budget_exhausted"])
+	fmt.Printf("  peers: live=%d (admitted=%d strangers=%d doomed=%d) sweeps=%d evicted=%d expelled=%d\n",
+		s.Peers.Live, s.Peers.Admitted, s.Peers.Strangers, s.Peers.Doomed,
+		s.Peers.Sweeps, s.Peers.EvictedStrangers+s.Peers.EvictedAdmitted, s.Peers.Expelled)
 	if s.Store.Durable {
 		fmt.Printf("  store: objects=%d tombstones=%d wal=%dB snapshot=%dB compactions=%d\n",
 			s.Store.Objects, s.Store.Tombstones, s.Store.WALBytes,

@@ -193,6 +193,11 @@ func New(node *pastry.Node, env pastry.Env, cfg Config) *Store {
 	}
 	if cfg.CacheEntries > 0 {
 		s.hot = newHotState(cfg)
+		// Deposit records are per-peer state: the node's peer registry
+		// broadcasts every final eviction, and dropping the evicted
+		// peer's records there keeps the maps bounded under churn
+		// without a prune pass of their own.
+		node.Peers().OnEvict(func(x id.ID, _ string) { s.dropDepositTarget(x) })
 	}
 	node.SetApp(s)
 	s.armSweep()

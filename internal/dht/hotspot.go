@@ -327,26 +327,26 @@ func (s *Store) invalidateCached(o store.Object) {
 }
 
 // purgeHotspot is the per-sweep backstop: evict every cached entry
-// older than one sweep interval and prune per-peer deposit state for
-// peers no longer in routing state (mirroring pruneOverloadState — the
-// maps must not grow without bound under churn).
+// older than one sweep interval. Per-peer deposit state needs no sweep
+// pass of its own — the peer registry's eviction broadcast (subscribed
+// in New) drops a peer's deposit records the moment the node evicts it.
 func (s *Store) purgeHotspot() {
 	if s.hot == nil {
 		return
 	}
 	cutoff := s.env.Now() - s.cfg.SweepInterval
 	s.counters.CachePurged += uint64(s.hot.cache.PurgeOlderThan(cutoff))
-	s.pruneHotspotState()
 }
 
-// pruneHotspotState drops deposit targets that left the leaf set and
-// routing table: they can no longer be chosen as hops, so invalidating
-// them is pointless and remembering them forever leaks.
-func (s *Store) pruneHotspotState() {
+// dropDepositTarget removes x from every key's deposit target list: an
+// evicted peer can no longer be chosen as a caching hop, so invalidating
+// it is pointless and remembering it forever leaks. Runs from the peer
+// registry's eviction broadcast.
+func (s *Store) dropDepositTarget(x id.ID) {
 	for key, targets := range s.hot.deposits {
 		kept := targets[:0]
 		for _, t := range targets {
-			if s.node.Leaf().Contains(t.ID) || s.node.Table().Contains(t.ID) {
+			if t.ID != x {
 				kept = append(kept, t)
 			}
 		}

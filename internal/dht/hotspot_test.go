@@ -148,10 +148,10 @@ func TestHotspotStaleCachedReplyRejected(t *testing.T) {
 	}
 }
 
-// TestHotspotPruneDepositState pins the per-peer state bound: deposit
-// records for peers that left the leaf set and routing table are
-// dropped by the sweep's prune pass, and a crash that evicts a peer
-// from routing state takes its deposit records with it.
+// TestHotspotPruneDepositState pins the per-peer state bound: the peer
+// registry's eviction broadcast drops the evicted peer's deposit
+// records, so a crash that ultimately evicts a peer takes its deposit
+// state with it.
 func TestHotspotPruneDepositState(t *testing.T) {
 	c := newCluster(t, 12, 5, cachingConfig(60*time.Second))
 	s := c.stores[3]
@@ -169,16 +169,17 @@ func TestHotspotPruneDepositState(t *testing.T) {
 	s.hot.deposits[key2] = []pastry.NodeRef{fake}
 	s.hot.depositOrder = append(s.hot.depositOrder, key1, key2)
 
-	s.pruneHotspotState()
+	s.Node().Peers().Expel(fake.ID, fake.Addr)
 	if got := s.hot.deposits[key1]; len(got) != 1 || got[0].ID != real.ID {
-		t.Fatalf("key1 targets after prune: %v", got)
+		t.Fatalf("key1 targets after eviction broadcast: %v", got)
 	}
 	if _, stillThere := s.hot.deposits[key2]; stillThere {
-		t.Fatal("key2 (only unreachable targets) survived the prune")
+		t.Fatal("key2 (only evicted targets) survived the eviction broadcast")
 	}
 
 	// Crash the real peer; once failure detection evicts it from this
-	// node's routing state, the prune must drop its record too.
+	// node's routing state, its final registry eviction must drop its
+	// deposit record too.
 	for _, other := range c.stores {
 		if other.Node().Ref().ID == real.ID {
 			other.env.(*netmodel.Endpoint).Fail()
@@ -192,9 +193,9 @@ func TestHotspotPruneDepositState(t *testing.T) {
 	if s.Node().Leaf().Contains(real.ID) || s.Node().Table().Contains(real.ID) {
 		t.Fatal("crashed peer never left routing state")
 	}
-	s.pruneHotspotState()
+	s.Node().Peers().Expel(real.ID, real.Addr)
 	if _, stillThere := s.hot.deposits[key1]; stillThere {
-		t.Fatal("deposit record for crashed peer survived the prune")
+		t.Fatal("deposit record for crashed peer survived its eviction")
 	}
 }
 

@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"mspastry/internal/peer"
+)
+
+// TestPeerRegistryLeakBound is the cross-layer leak detector: it drives
+// the pinned 200s seeded churn run with aggressive record lifetimes and
+// checks, once per maintenance tick on every active node, that each
+// registry record is accounted for — it is either current routing-state
+// membership (leaf set, routing table, outstanding probe), vetoed by a
+// component slot that still holds state (whose own pruners bound it), or
+// inside the TTL grace since its last touch. Any record outside those
+// classes is per-peer state that survived eviction from routing state:
+// exactly the leak the unified lifecycle exists to prevent. The record
+// count is therefore bounded by live routing-state size plus the two
+// transient classes at every sweep.
+func TestPeerRegistryLeakBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("200s churn sim: skipped in -short")
+	}
+	cfg := goldenChurnConfig(t)
+	// Aggressive lifetimes so a leak cannot hide behind the production
+	// TTLs (which exceed the run length).
+	cfg.Pastry.PeerStrangerTTL = 20 * time.Second
+	cfg.Pastry.PeerAdmittedTTL = 40 * time.Second
+
+	r := newRun(cfg)
+	tick := cfg.Pastry.TickInterval
+	checks, worst := 0, 0
+	var check func()
+	check = func() {
+		now := r.sim.Now()
+		for si, s := range r.slots {
+			n := s.node
+			if n == nil || !n.Alive() || !n.Active() {
+				continue
+			}
+			reg := n.Peers()
+			members, vetoed, doomed, fresh := 0, 0, 0, 0
+			reg.Each(func(rec *peer.Record) {
+				ttl := cfg.Pastry.PeerStrangerTTL
+				if rec.Admitted() {
+					ttl = cfg.Pastry.PeerAdmittedTTL
+				}
+				switch {
+				case n.PeerMember(rec.ID):
+					members++
+				case rec.Doomed():
+					// Eviction already broadcast by an Expel; the empty
+					// record is a tombstone the next sweep deletes.
+					doomed++
+				case reg.Busy(rec):
+					vetoed++
+				case now-rec.Touched() < ttl+2*tick:
+					fresh++
+				default:
+					t.Errorf("t=%v slot %d: record %v leaked: not a member, no slot state, idle %v (ttl %v, admitted %v)",
+						now, si, rec.ID, now-rec.Touched(), ttl, rec.Admitted())
+				}
+			})
+			if got, bound := reg.Len(), members+vetoed+doomed+fresh; got > bound {
+				t.Errorf("t=%v slot %d: %d records exceed bound %d (members %d, vetoed %d, doomed %d, in-grace %d)",
+					now, si, got, bound, members, vetoed, doomed, fresh)
+			}
+			if reg.Len() > worst {
+				worst = reg.Len()
+			}
+		}
+		checks++
+		r.sim.After(tick, check)
+	}
+	r.sim.After(cfg.SetupRamp, check)
+	r.execute()
+	if checks < 10 {
+		t.Fatalf("leak detector ran only %d checks", checks)
+	}
+
+	// The lifecycle must actually be exercising evictions, not just
+	// never creating records.
+	var evicted uint64
+	for _, s := range r.slots {
+		if s.node != nil && s.node.Alive() {
+			st := s.node.PeerStats()
+			evicted += st.EvictedStrangers + st.EvictedAdmitted + st.Expelled
+		}
+	}
+	if evicted == 0 {
+		t.Fatal("no registry evictions over 200s of churn")
+	}
+	t.Logf("%d sweep checks, peak registry size %d, %d evictions on surviving nodes", checks, worst, evicted)
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"mspastry/internal/eventsim"
+	"mspastry/internal/id"
 	"mspastry/internal/overload"
 	"mspastry/internal/pastry"
 	"mspastry/internal/topology"
@@ -198,10 +199,18 @@ func (ep *Endpoint) Index() int { return ep.index }
 func (ep *Endpoint) Node() *pastry.Node { return ep.node }
 
 // Bind attaches an overlay node to the endpoint and marks it up. A new
-// node instance is bound for every session of a churning endpoint.
+// node instance is bound for every session of a churning endpoint. The
+// endpoint subscribes to the node's peer-eviction broadcast: when the
+// registry evicts a peer, its coalescing queue is flushed (held
+// delay-tolerant frames still go out) and released.
 func (ep *Endpoint) Bind(n *pastry.Node) {
 	ep.node = n
 	ep.up = true
+	n.Peers().OnEvict(func(x id.ID, addr string) {
+		if ep.co != nil && ep.node == n {
+			ep.co.Evict(queueKey(pastry.NodeRef{ID: x, Addr: addr}))
+		}
+	})
 }
 
 // Fail crashes the endpoint's node and stops delivery to it. Messages
@@ -233,14 +242,6 @@ func (ep *Endpoint) Rand() *rand.Rand { return ep.nw.sim.Rand() }
 // Schedule implements pastry.Env.
 func (ep *Endpoint) Schedule(d time.Duration, fn func()) pastry.Timer {
 	return ep.nw.sim.After(d, fn)
-}
-
-// EvictPeer implements pastry.PeerEvictor: when the node purges a peer
-// for good, its coalescing queue (if any) is released.
-func (ep *Endpoint) EvictPeer(ref pastry.NodeRef) {
-	if ep.co != nil {
-		ep.co.Drop(queueKey(ref))
-	}
 }
 
 // Send implements pastry.Env. With no coalescing window the message is

@@ -5,6 +5,7 @@ import (
 
 	"mspastry/internal/id"
 	"mspastry/internal/overload"
+	"mspastry/internal/peer"
 )
 
 // Per-peer circuit breakers and retry budgets (overload protection).
@@ -41,17 +42,17 @@ import (
 // expired transitions to half-open here — admitting this very routing
 // decision as the recovery trial.
 func (n *Node) breakerDenies(x id.ID) bool {
-	if n.cfg.BreakerThreshold <= 0 || len(n.breakers) == 0 {
+	if n.cfg.BreakerThreshold <= 0 || n.peers.SlotCount(n.slotOverload) == 0 {
 		return false
 	}
-	b, ok := n.breakers[x]
-	if !ok {
+	st := n.overloadFor(x)
+	if st == nil || st.breaker == nil {
 		return false
 	}
-	if b.Ready(n.env.Now()) {
-		b.HalfOpen()
+	if st.breaker.Ready(n.env.Now()) {
+		st.breaker.HalfOpen()
 	}
-	return b.Denies()
+	return st.breaker.Denies()
 }
 
 // breakerFailure records a missed per-hop ack against the peer.
@@ -59,14 +60,15 @@ func (n *Node) breakerFailure(ref NodeRef) {
 	if n.cfg.BreakerThreshold <= 0 {
 		return
 	}
-	b := n.breakers[ref.ID]
+	st := n.overloadOf(n.peers.Obtain(ref.ID, ref.Addr, n.env.Now()))
+	b := st.breaker
 	if b == nil {
 		b = &overload.Breaker{
 			Threshold:   n.cfg.BreakerThreshold,
 			Cooldown:    n.cfg.BreakerCooldown,
 			MaxCooldown: n.cfg.BreakerMaxCooldown,
 		}
-		n.breakers[ref.ID] = b
+		st.breaker = b
 	}
 	wasHalfOpen := b.State() == overload.BreakerHalfOpen
 	if b.Failure(n.env.Now()) {
@@ -84,14 +86,14 @@ func (n *Node) breakerFailure(ref NodeRef) {
 // transmitted: the breaker discards acks for hops sent before it last
 // opened, so straggling pre-storm acks cannot close it.
 func (n *Node) breakerSuccess(x id.ID, sentAt time.Duration) {
-	if len(n.breakers) == 0 {
+	if n.peers.SlotCount(n.slotOverload) == 0 {
 		return
 	}
-	b, ok := n.breakers[x]
-	if !ok {
+	st := n.overloadFor(x)
+	if st == nil || st.breaker == nil {
 		return
 	}
-	if b.Success(sentAt) {
+	if st.breaker.Success(sentAt) {
 		n.counters.BreakerCloses++
 	}
 }
@@ -100,50 +102,26 @@ func (n *Node) breakerSuccess(x id.ID, sentAt time.Duration) {
 // the peer is marked faulty (the reconnect cache owns it from there) and
 // from eviction paths.
 func (n *Node) dropBreaker(x id.ID) {
-	delete(n.breakers, x)
-	delete(n.retryBudget, x)
+	n.clearSlot(x, n.slotOverload)
 }
 
 // retryAllowed charges one token from the peer's retry budget, reporting
 // whether the repeat send may proceed. With budgets disabled it always
 // allows.
-func (n *Node) retryAllowed(x id.ID) bool {
+func (n *Node) retryAllowed(ref NodeRef) bool {
 	if n.cfg.RetryBudgetRate <= 0 {
 		return true
 	}
 	now := n.env.Now()
-	tb := n.retryBudget[x]
-	if tb == nil {
-		tb = overload.NewTokenBucket(n.cfg.RetryBudgetRate, float64(n.cfg.RetryBudgetBurst), now)
-		n.retryBudget[x] = tb
+	st := n.overloadOf(n.peers.Obtain(ref.ID, ref.Addr, now))
+	if st.budget == nil {
+		st.budget = overload.NewTokenBucket(n.cfg.RetryBudgetRate, float64(n.cfg.RetryBudgetBurst), now)
 	}
-	if !tb.Take(now) {
+	if !st.budget.Take(now) {
 		n.counters.RetryBudgetExhausted++
 		return false
 	}
 	return true
-}
-
-// pruneOverloadState drops idle overload-protection records so the maps
-// track only peers under active suspicion: full (fully refilled) budget
-// buckets, closed breakers with no strikes, and half-open breakers no
-// traffic has tried for a full maximum cooldown carry no information.
-// Records for peers no longer in the leaf set or routing table go too —
-// routing only ever picks next hops from those two structures, so state
-// about anyone else can never influence a decision, and without this
-// eviction the maps grow without bound under churn (every peer that ever
-// missed an ack would be remembered forever).
-func (n *Node) pruneOverloadState(now time.Duration) {
-	for x, tb := range n.retryBudget {
-		if tb.Full(now) || !n.inRoutingState(x) {
-			delete(n.retryBudget, x)
-		}
-	}
-	for x, b := range n.breakers {
-		if (b.State() == overload.BreakerClosed && b.Failures() == 0) || b.Stale(now) || !n.inRoutingState(x) {
-			delete(n.breakers, x)
-		}
-	}
 }
 
 // inRoutingState reports whether the peer can currently be chosen as a
@@ -175,14 +153,15 @@ func (n *Node) distrust(ref NodeRef) {
 	if n.cfg.BreakerThreshold <= 0 {
 		return
 	}
-	b := n.breakers[ref.ID]
+	st := n.overloadOf(n.peers.Obtain(ref.ID, ref.Addr, n.env.Now()))
+	b := st.breaker
 	if b == nil {
 		b = &overload.Breaker{
 			Threshold:   n.cfg.BreakerThreshold,
 			Cooldown:    n.cfg.BreakerCooldown,
 			MaxCooldown: n.cfg.BreakerMaxCooldown,
 		}
-		n.breakers[ref.ID] = b
+		st.breaker = b
 	}
 	wasOpen := b.Denies()
 	b.Trip(n.env.Now())
@@ -201,8 +180,12 @@ type BreakerSummary struct {
 // Breakers returns a snapshot of breaker states for status reporting.
 func (n *Node) Breakers() BreakerSummary {
 	var s BreakerSummary
-	for _, b := range n.breakers {
-		switch b.State() {
+	n.peers.Each(func(rec *peer.Record) {
+		st, _ := rec.Get(n.slotOverload).(*overloadState)
+		if st == nil || st.breaker == nil {
+			return
+		}
+		switch st.breaker.State() {
 		case overload.BreakerOpen:
 			s.Open++
 		case overload.BreakerHalfOpen:
@@ -210,7 +193,7 @@ func (n *Node) Breakers() BreakerSummary {
 		default:
 			s.Tripping++
 		}
-	}
+	})
 	return s
 }
 

@@ -141,6 +141,16 @@ type Config struct {
 	// SecureDistanceRatio flags roots farther than this multiple of the
 	// local mean inter-node gap from the key (δ in internal/secure).
 	SecureDistanceRatio float64
+
+	// PeerStrangerTTL bounds how long per-peer state survives for a peer
+	// that was never admitted into routing state (leaf set, routing table
+	// or an active probe): senders that never make it in cannot leak
+	// liveness or RTT state indefinitely. PeerAdmittedTTL is the idle
+	// lifetime for once-admitted peers, preserving RTT estimates and
+	// reconnect memory across transient membership gaps. Zero values take
+	// the registry defaults (1 minute / 10 minutes).
+	PeerStrangerTTL time.Duration
+	PeerAdmittedTTL time.Duration
 }
 
 // DefaultConfig returns the paper's base configuration: b=4, l=32,
@@ -233,6 +243,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("pastry: SecureReplyTimeout must be positive with secure routing")
 	case c.SecureRouting && (c.SecureDensityRatio <= 1 || c.SecureDistanceRatio <= 1):
 		return fmt.Errorf("pastry: secure-routing ratios must exceed 1")
+	case c.PeerStrangerTTL < 0 || c.PeerAdmittedTTL < 0:
+		return fmt.Errorf("pastry: peer lifecycle TTLs must not be negative")
 	}
 	return nil
 }

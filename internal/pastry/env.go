@@ -26,16 +26,6 @@ type Env interface {
 	Schedule(d time.Duration, fn func()) Timer
 }
 
-// PeerEvictor is an optional Env extension. Transports that keep per-peer
-// state — resolved socket addresses, coalescing queues — implement it, and
-// the node calls EvictPeer when it purges a peer for good (a failed peer
-// leaves the reconnect graveyard by expiry or eviction), so long-lived
-// deployments under churn do not accumulate state for peers that will
-// never be heard from again.
-type PeerEvictor interface {
-	EvictPeer(ref NodeRef)
-}
-
 // DropReason explains why a lookup was dropped by the overlay.
 type DropReason int
 

@@ -5,7 +5,7 @@ import (
 	"time"
 
 	"mspastry/internal/id"
-	"mspastry/internal/overload"
+	"mspastry/internal/peer"
 	"mspastry/internal/secure"
 )
 
@@ -34,6 +34,19 @@ type Node struct {
 	joinSeed   NodeRef
 	seedSource func() (NodeRef, bool)
 
+	// peers is the unified per-peer state registry: liveness timestamps,
+	// RTT estimators, self-tuning hints, probe-suppression memory,
+	// overload protection and the reconnect graveyard all live in one
+	// record per peer, with a single sweep (sweepPeers) driving their
+	// lifecycle. The slot handles index each subsystem's state; see
+	// peers.go for the slot value types and pruning rules.
+	peers        *peer.Registry
+	slotHint     peer.Slot
+	slotSuppress peer.Slot
+	slotOverload peer.Slot
+	slotGrave    peer.Slot
+	slotRTT      peer.Slot
+
 	// probing tracks outstanding liveness probes (leaf-set and routing
 	// table); failed holds nodes marked faulty; excluded holds nodes
 	// temporarily routed around after a missed per-hop ack.
@@ -41,42 +54,22 @@ type Node struct {
 	failed   map[id.ID]NodeRef
 	excluded map[id.ID]bool
 
-	// breakers holds per-peer circuit breakers (fast-fail on consecutive
-	// missed acks); retryBudget holds per-peer token buckets charged for
-	// repeat sends to the same peer. See breaker.go.
-	breakers    map[id.ID]*overload.Breaker
-	retryBudget map[id.ID]*overload.TokenBucket
-
 	// secureSess tracks this origin's secure lookups awaiting a root
 	// report; density is the id-space density estimate the routing
 	// failure test compares reports against. See secure.go.
 	secureSess map[uint64]*secureSession
 	density    secure.Estimator
 
-	// graveyard remembers recently purged peers for slow re-probing, so
-	// the overlay can re-merge after a long partition (see reconnect.go).
-	graveyard     map[id.ID]*graveRecord
 	lastReconnect time.Duration
 
-	// lastRepair paces leaf-set repair probes per target: a stuck repair
-	// (the reply brings no new candidates, so the set stays incomplete)
-	// would otherwise re-probe its farthest member at reply-RTT rate.
-	lastRepair  map[id.ID]time.Duration
 	repairTimer Timer
 
 	// Per-hop ack state.
 	pending  map[uint64]*pendingHop
 	nextXfer uint64
 
-	rto           map[id.ID]*rttEstimator
-	lastRecv      map[id.ID]time.Duration
-	lastSent      map[id.ID]time.Duration
-	lastLiveness  map[id.ID]time.Duration // last probe activity per RT entry
-	lastHeartbeat map[id.ID]time.Duration
-
 	// Self-tuning state.
 	failureHist []time.Duration
-	trtHints    map[id.ID]time.Duration
 	trtLocal    time.Duration
 	trtCurrent  time.Duration
 
@@ -86,17 +79,6 @@ type Node struct {
 	distSeqs     map[uint64]*distSession
 
 	lastMaintenance time.Duration
-
-	// distProbed remembers when each candidate was last distance-probed,
-	// so periodic maintenance does not re-measure known-farther nodes
-	// every round.
-	distProbed map[id.ID]time.Duration
-
-	// lsCandidateProbed remembers when each leaf-set candidate was last
-	// probed. While a side of the leaf set is short, every incoming probe
-	// nominates dozens of candidates; without this memory each nomination
-	// would re-probe them all, turning one failure into a probe storm.
-	lsCandidateProbed map[id.ID]time.Duration
 
 	// nn tracks the nearest-neighbour search during a join.
 	nn *nnState
@@ -197,33 +179,22 @@ func NewNode(self NodeRef, cfg Config, env Env, obs Observer) (*Node, error) {
 		obs = NopObserver{}
 	}
 	n := &Node{
-		cfg:               cfg,
-		env:               env,
-		obs:               obs,
-		self:              self,
-		ls:                NewLeafSet(self.ID, cfg.L),
-		rt:                NewRoutingTable(self.ID, cfg.B),
-		alive:             true,
-		probing:           make(map[id.ID]*probeState),
-		failed:            make(map[id.ID]NodeRef),
-		excluded:          make(map[id.ID]bool),
-		graveyard:         make(map[id.ID]*graveRecord),
-		lastRepair:        make(map[id.ID]time.Duration),
-		pending:           make(map[uint64]*pendingHop),
-		rto:               make(map[id.ID]*rttEstimator),
-		lastRecv:          make(map[id.ID]time.Duration),
-		lastSent:          make(map[id.ID]time.Duration),
-		lastLiveness:      make(map[id.ID]time.Duration),
-		lastHeartbeat:     make(map[id.ID]time.Duration),
-		trtHints:          make(map[id.ID]time.Duration),
-		distSessions:      make(map[id.ID]*distSession),
-		distSeqs:          make(map[uint64]*distSession),
-		distProbed:        make(map[id.ID]time.Duration),
-		lsCandidateProbed: make(map[id.ID]time.Duration),
-		breakers:          make(map[id.ID]*overload.Breaker),
-		retryBudget:       make(map[id.ID]*overload.TokenBucket),
-		secureSess:        make(map[uint64]*secureSession),
+		cfg:          cfg,
+		env:          env,
+		obs:          obs,
+		self:         self,
+		ls:           NewLeafSet(self.ID, cfg.L),
+		rt:           NewRoutingTable(self.ID, cfg.B),
+		alive:        true,
+		probing:      make(map[id.ID]*probeState),
+		failed:       make(map[id.ID]NodeRef),
+		excluded:     make(map[id.ID]bool),
+		pending:      make(map[uint64]*pendingHop),
+		distSessions: make(map[id.ID]*distSession),
+		distSeqs:     make(map[uint64]*distSession),
+		secureSess:   make(map[uint64]*secureSession),
 	}
+	n.initPeers()
 	n.tobs, _ = obs.(TraceObserver)
 	n.sobs, _ = obs.(StatsObserver)
 	n.secObs, _ = obs.(SecureObserver)
@@ -481,7 +452,8 @@ func (n *Node) noteContact(from NodeRef, hint time.Duration) {
 		return
 	}
 	now := n.env.Now()
-	n.lastRecv[from.ID] = now
+	rec := n.peers.Obtain(from.ID, from.Addr, now)
+	rec.LastRecv = now
 	if _, wasFailed := n.failed[from.ID]; wasFailed {
 		// A node we marked faulty is alive after all: false positive.
 		delete(n.failed, from.ID)
@@ -496,29 +468,33 @@ func (n *Node) noteContact(from NodeRef, hint time.Duration) {
 	// satisfies the insertion discipline; probing, rather than inserting
 	// outright, also exchanges leaf-set state.
 	if n.active && !n.ls.Contains(from.ID) && n.wouldExtendLeafSet(from) &&
-		n.markCandidateProbe(from.ID) {
+		n.markCandidateProbe(from) {
 		noteProbeCause("direct-contact")
 		n.probeLeaf(from)
 	}
 	if hint > 0 {
-		n.trtHints[from.ID] = hint
+		n.setTrtHint(rec, hint)
 	}
 }
 
 // markCandidateProbe records a leaf-candidate probe attempt and reports
 // whether the candidate is due (not probed within the heartbeat period).
-func (n *Node) markCandidateProbe(x id.ID) bool {
+func (n *Node) markCandidateProbe(ref NodeRef) bool {
 	now := n.env.Now()
-	if last, ok := n.lsCandidateProbed[x]; ok && now-last < n.cfg.Tls {
+	s := n.suppressOf(n.peers.Obtain(ref.ID, ref.Addr, now))
+	if s.lsCandidate != 0 && now-s.lsCandidate < n.cfg.Tls {
 		return false
 	}
-	n.lsCandidateProbed[x] = now
+	s.lsCandidate = now
 	return true
 }
 
 // send transmits a message and records the contact for suppression.
 func (n *Node) send(to NodeRef, m Message) {
-	n.lastSent[to.ID] = n.env.Now()
+	if to.ID != n.self.ID {
+		now := n.env.Now()
+		n.peers.Obtain(to.ID, to.Addr, now).LastSent = now
+	}
 	if n.sobs != nil {
 		env, isEnv := m.(*Envelope)
 		n.sobs.MessageSent(n, m.Category(), isEnv && env.Retx)
@@ -621,36 +597,7 @@ func (n *Node) onTick() {
 		n.lastReconnect = now
 		n.retryReconnect(now)
 	}
-	n.pruneHints()
-}
-
-// pruneHints drops self-tuning hints from nodes no longer in the routing
-// state, so the median reflects live peers; it also expires the
-// distance-probe memory.
-func (n *Node) pruneHints() {
-	for x := range n.trtHints {
-		if !n.rt.Contains(x) && !n.ls.Contains(x) {
-			delete(n.trtHints, x)
-		}
-	}
-	now := n.env.Now()
-	horizon := 2 * n.cfg.RTMaintenance
-	for x, at := range n.distProbed {
-		if now-at > horizon {
-			delete(n.distProbed, x)
-		}
-	}
-	for x, at := range n.lsCandidateProbed {
-		if now-at > 2*n.cfg.Tls {
-			delete(n.lsCandidateProbed, x)
-		}
-	}
-	for x, at := range n.lastRepair {
-		if now-at > 2*n.cfg.To {
-			delete(n.lastRepair, x)
-		}
-	}
-	n.pruneOverloadState(now)
+	n.sweepPeers()
 }
 
 // holdLookup buffers a lookup the node cannot deliver or route yet.

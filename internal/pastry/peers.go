@@ -1,0 +1,194 @@
+package pastry
+
+import (
+	"time"
+
+	"mspastry/internal/id"
+	"mspastry/internal/overload"
+	"mspastry/internal/peer"
+)
+
+// Per-peer state slots on the unified peer registry (see internal/peer).
+//
+// Every piece of per-peer protocol state the node keeps — self-tuning
+// hints, probe-suppression memory, overload protection, the reconnect
+// graveyard, RTT estimators — hangs off one peer.Record in n.peers,
+// under the slot handles registered here. Each prunable slot's PruneFunc
+// states exactly how long its state stays meaningful; the single sweep
+// at the end of every maintenance tick (sweepPeers) applies them all and
+// evicts fully drained records, broadcasting the eviction to transports
+// and upper layers. No per-peer state survives eviction from routing
+// state: that is the registry's invariant, pinned by the cross-layer
+// leak-detector test in the harness.
+
+// trtHint is the peer's advertised routing-table probing period, fed to
+// the self-tuning median. A pointer so hot-path updates mutate in place
+// instead of boxing a fresh value per message.
+type trtHint struct{ d time.Duration }
+
+// suppressState is probe-suppression memory: when the peer was last
+// distance-probed, last probed as a leaf-set candidate, and last sent a
+// leaf-set repair probe. Zero means "never" — the simulation clock is
+// strictly positive whenever these are written.
+type suppressState struct {
+	distProbed  time.Duration
+	lsCandidate time.Duration
+	lastRepair  time.Duration
+}
+
+// overloadState is the peer's overload protection: circuit breaker and
+// retry-budget token bucket (either may be nil).
+type overloadState struct {
+	breaker *overload.Breaker
+	budget  *overload.TokenBucket
+}
+
+// initPeers creates the registry and registers the component slots.
+// Registration order is pruning order within a record (immaterial here:
+// no pruner reads another slot).
+func (n *Node) initPeers() {
+	n.peers = peer.New(peer.Config{
+		StrangerTTL: n.cfg.PeerStrangerTTL,
+		AdmittedTTL: n.cfg.PeerAdmittedTTL,
+	})
+	n.slotHint = n.peers.NewSlot("trt-hint", n.pruneHint)
+	n.slotSuppress = n.peers.NewSlot("suppress", n.pruneSuppress)
+	n.slotOverload = n.peers.NewSlot("overload", n.pruneOverload)
+	n.slotGrave = n.peers.NewSlot("graveyard", pruneKeep)
+	n.slotRTT = n.peers.NewRetainedSlot("rtt")
+}
+
+// sweepPeers runs the registry's prune pass; called once per maintenance
+// tick. Membership for lifecycle purposes is the full routing state plus
+// peers under an outstanding probe (a probe target must not be evicted
+// mid-probe).
+func (n *Node) sweepPeers() {
+	n.peers.Sweep(n.env.Now(), n.peerIsMember)
+}
+
+// PeerMember reports whether x currently counts as routing-state
+// membership for the registry lifecycle: leaf set, routing table, or an
+// outstanding probe. Exposed for the cross-layer leak detector.
+func (n *Node) PeerMember(x id.ID) bool { return n.peerIsMember(x) }
+
+func (n *Node) peerIsMember(x id.ID) bool {
+	if _, ok := n.probing[x]; ok {
+		return true
+	}
+	return n.inRoutingState(x)
+}
+
+// pruneHint drops self-tuning hints from peers no longer in the leaf set
+// or routing table, so the median reflects live peers. Deliberately
+// narrower than peerIsMember: a peer under probe but out of routing
+// state must not keep voting.
+func (n *Node) pruneHint(x id.ID, v any, _ time.Duration, _ bool) any {
+	if !n.inRoutingState(x) {
+		return nil
+	}
+	return v
+}
+
+// pruneSuppress expires each suppression timestamp at twice its pacing
+// window — after that a re-probe would be due anyway, so the memory
+// carries no information.
+func (n *Node) pruneSuppress(_ id.ID, v any, now time.Duration, _ bool) any {
+	s := v.(*suppressState)
+	if s.distProbed != 0 && now-s.distProbed > 2*n.cfg.RTMaintenance {
+		s.distProbed = 0
+	}
+	if s.lsCandidate != 0 && now-s.lsCandidate > 2*n.cfg.Tls {
+		s.lsCandidate = 0
+	}
+	if s.lastRepair != 0 && now-s.lastRepair > 2*n.cfg.To {
+		s.lastRepair = 0
+	}
+	if s.distProbed == 0 && s.lsCandidate == 0 && s.lastRepair == 0 {
+		return nil
+	}
+	return v
+}
+
+// pruneOverload drops idle overload-protection state so the slot tracks
+// only peers under active suspicion: full (fully refilled) budget
+// buckets, closed breakers with no strikes, and half-open breakers no
+// traffic has tried for a full maximum cooldown carry no information.
+// State for peers outside the leaf set and routing table goes too —
+// routing only ever picks next hops from those two structures.
+func (n *Node) pruneOverload(x id.ID, v any, now time.Duration, _ bool) any {
+	st := v.(*overloadState)
+	if st.budget != nil && (st.budget.Full(now) || !n.inRoutingState(x)) {
+		st.budget = nil
+	}
+	if b := st.breaker; b != nil &&
+		((b.State() == overload.BreakerClosed && b.Failures() == 0) || b.Stale(now) || !n.inRoutingState(x)) {
+		st.breaker = nil
+	}
+	if st.budget == nil && st.breaker == nil {
+		return nil
+	}
+	return v
+}
+
+// pruneKeep retains the slot value until it is cleared explicitly — the
+// reconnect graveyard manages its own expiry (retryReconnect).
+func pruneKeep(_ id.ID, v any, _ time.Duration, _ bool) any { return v }
+
+// setTrtHint records the peer's advertised probing period.
+func (n *Node) setTrtHint(rec *peer.Record, d time.Duration) {
+	if h, _ := rec.Get(n.slotHint).(*trtHint); h != nil {
+		h.d = d
+		return
+	}
+	n.peers.Put(rec, n.slotHint, &trtHint{d: d})
+}
+
+// suppressOf returns the record's suppression memory, creating it when
+// absent (every caller writes a field right after checking it).
+func (n *Node) suppressOf(rec *peer.Record) *suppressState {
+	if s, _ := rec.Get(n.slotSuppress).(*suppressState); s != nil {
+		return s
+	}
+	s := &suppressState{}
+	n.peers.Put(rec, n.slotSuppress, s)
+	return s
+}
+
+// overloadOf returns the record's overload state, creating it when
+// absent.
+func (n *Node) overloadOf(rec *peer.Record) *overloadState {
+	if st, _ := rec.Get(n.slotOverload).(*overloadState); st != nil {
+		return st
+	}
+	st := &overloadState{}
+	n.peers.Put(rec, n.slotOverload, st)
+	return st
+}
+
+// overloadFor is the read-only lookup: nil when the peer has no record
+// or no overload state.
+func (n *Node) overloadFor(x id.ID) *overloadState {
+	rec := n.peers.Lookup(x)
+	if rec == nil {
+		return nil
+	}
+	st, _ := rec.Get(n.slotOverload).(*overloadState)
+	return st
+}
+
+// clearSlot empties the peer's slot if it holds a value.
+func (n *Node) clearSlot(x id.ID, s peer.Slot) {
+	if rec := n.peers.Lookup(x); rec != nil && rec.Get(s) != nil {
+		n.peers.Put(rec, s, nil)
+	}
+}
+
+// Peers returns the node's per-peer state registry. Transports and upper
+// layers subscribe to eviction broadcasts here; telemetry and tests read
+// cardinality.
+func (n *Node) Peers() *peer.Registry { return n.peers }
+
+// PeerStats snapshots the registry's cardinality and prune economics for
+// status reporting. Kept out of Counters on purpose: the evaluation's
+// counter set is frozen by the canonical report format.
+func (n *Node) PeerStats() peer.Stats { return n.peers.Stats() }

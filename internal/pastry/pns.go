@@ -137,10 +137,11 @@ func (n *Node) handleRowEntries(entries []NodeRef, fillOnly bool) {
 		// Skip candidates measured recently: a candidate that did not
 		// make it into the table last round is still farther this round,
 		// so re-probing it every maintenance period is pure overhead.
-		if last, ok := n.distProbed[e.ID]; ok && now-last < n.cfg.RTMaintenance {
+		s := n.suppressOf(n.peers.Obtain(e.ID, e.Addr, now))
+		if s.distProbed != 0 && now-s.distProbed < n.cfg.RTMaintenance {
 			continue
 		}
-		n.distProbed[e.ID] = now
+		s.distProbed = now
 		n.measureDistance(e, n.cfg.DistProbeCount, func(rtt time.Duration, ok bool) {
 			if ok {
 				n.rt.AddWithRTT(e, rtt)

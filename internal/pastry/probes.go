@@ -115,7 +115,7 @@ func (n *Node) probeTimeout(ps *probeState) {
 		// timeout into MaxProbeRetries extra packets. A suppressed resend
 		// keeps the timer machinery running, so the verdict arrives on the
 		// same schedule either way — the peer just is not re-pinged.
-		if n.retryAllowed(ps.ref.ID) {
+		if n.retryAllowed(ps.ref) {
 			n.sendProbeMsg(ps)
 		}
 		n.armProbeTimer(ps)
@@ -144,7 +144,7 @@ func (n *Node) markFaulty(ref NodeRef, announce bool) {
 	n.failed[ref.ID] = ref
 	n.rememberFailed(ref)
 	delete(n.excluded, ref.ID)
-	delete(n.trtHints, ref.ID)
+	n.clearSlot(ref.ID, n.slotHint)
 	// The reconnect cache owns the peer now; breaker and budget state
 	// would only shadow it.
 	n.dropBreaker(ref.ID)
@@ -235,11 +235,12 @@ func (n *Node) repairLeafSet() {
 // at a bounded one-probe-per-To rate until new information arrives.
 func (n *Node) repairProbe(ref NodeRef, cause string) bool {
 	now := n.env.Now()
-	if last, ok := n.lastRepair[ref.ID]; ok && now-last < n.cfg.To {
-		n.armRepairRetry(n.cfg.To - (now - last))
+	s := n.suppressOf(n.peers.Obtain(ref.ID, ref.Addr, now))
+	if s.lastRepair != 0 && now-s.lastRepair < n.cfg.To {
+		n.armRepairRetry(n.cfg.To - (now - s.lastRepair))
 		return false
 	}
-	n.lastRepair[ref.ID] = now
+	s.lastRepair = now
 	noteProbeCause(cause)
 	if n.sobs != nil {
 		n.sobs.LeafSetRepair(n, cause)
@@ -359,7 +360,7 @@ func (n *Node) processLeafInfo(from NodeRef, leaves, failed []NodeRef) {
 		if n.ls.Contains(cand.ID) {
 			continue
 		}
-		if n.wouldExtendLeafSet(cand) && n.markCandidateProbe(cand.ID) {
+		if n.wouldExtendLeafSet(cand) && n.markCandidateProbe(cand) {
 			noteProbeCause("candidate")
 			n.probeLeaf(cand)
 		}
@@ -421,7 +422,8 @@ func (n *Node) nearestKnown(target id.ID, k int) []NodeRef {
 // and serviceability are separate questions under overload.
 func (n *Node) handleRTProbeReply(p *RTProbeReply) {
 	delete(n.excluded, p.From.ID)
-	n.lastLiveness[p.From.ID] = n.env.Now()
+	now := n.env.Now()
+	n.peers.Obtain(p.From.ID, p.From.Addr, now).LastLiveness = now
 	n.doneProbing(p.From.ID)
 }
 
@@ -444,15 +446,16 @@ func (n *Node) suspect(ref NodeRef) {
 func (n *Node) sendHeartbeats(now time.Duration) {
 	targets := n.heartbeatTargets()
 	for _, t := range targets {
-		if now-n.lastHeartbeat[t.ID] < n.cfg.Tls {
+		rec := n.peers.Obtain(t.ID, t.Addr, now)
+		if now-rec.LastHeartbeat < n.cfg.Tls {
 			continue
 		}
-		if n.cfg.Suppression && now-n.lastSent[t.ID] < n.cfg.Tls {
+		if n.cfg.Suppression && now-rec.LastSent < n.cfg.Tls {
 			n.counters.SuppressedProbes++
-			n.lastHeartbeat[t.ID] = n.lastSent[t.ID]
+			rec.LastHeartbeat = rec.LastSent
 			continue
 		}
-		n.lastHeartbeat[t.ID] = now
+		rec.LastHeartbeat = now
 		n.counters.SentHeartbeats++
 		n.send(t, &Heartbeat{From: n.self, TrtHint: n.trtLocal})
 	}
@@ -490,15 +493,15 @@ func (n *Node) checkRightNeighbour(now time.Duration) {
 // silentFor returns how long a peer has been silent, counting from the
 // moment we first knew it if it never spoke.
 func (n *Node) silentFor(x id.ID, now time.Duration) time.Duration {
-	last, ok := n.lastRecv[x]
-	if !ok {
+	rec := n.peers.Lookup(x)
+	if rec == nil || rec.LastRecv == 0 {
 		// Never heard directly: leaf members always contacted us at least
 		// once (insertion discipline), so this is unreachable in practice;
 		// treat as fresh to avoid spurious suspicion.
-		n.lastRecv[x] = now
+		n.peers.Obtain(x, "", now).LastRecv = now
 		return 0
 	}
-	return now - last
+	return now - rec.LastRecv
 }
 
 // scanRoutingTable sends liveness probes to routing state whose last probe
@@ -523,23 +526,24 @@ func (n *Node) scanRoutingTable(now time.Duration) {
 			continue
 		}
 		scanned[e.ID] = true
-		last := n.lastLiveness[e.ID]
+		rec := n.peers.Obtain(e.ID, e.Addr, now)
+		last := rec.LastLiveness
 		if last == 0 {
 			// First sight: start the probing clock now.
-			n.lastLiveness[e.ID] = now
+			rec.LastLiveness = now
 			continue
 		}
 		if now-last < trt {
 			continue
 		}
 		if n.cfg.Suppression {
-			if lr, ok := n.lastRecv[e.ID]; ok && now-lr < trt {
+			if lr := rec.LastRecv; lr != 0 && now-lr < trt {
 				n.counters.SuppressedProbes++
-				n.lastLiveness[e.ID] = lr
+				rec.LastLiveness = lr
 				continue
 			}
 		}
-		n.lastLiveness[e.ID] = now
+		rec.LastLiveness = now
 		n.probeLiveness(e)
 	}
 }

@@ -2,6 +2,9 @@ package pastry
 
 import (
 	"time"
+
+	"mspastry/internal/id"
+	"mspastry/internal/peer"
 )
 
 // Reconnect cache: markFaulty purges a peer from all routing state, and
@@ -13,6 +16,13 @@ import (
 // pings before their record expires; partitioned peers answer once the
 // network heals, and the normal direct-contact re-admission path merges
 // the rings back together.
+//
+// The cache lives in the peer registry's graveyard slot: one graveRecord
+// per remembered peer, kept alive (the slot vetoes record eviction) until
+// the peer answers a reconnect probe or exhausts its retries. Expiry goes
+// through Registry.Expel, which broadcasts the final eviction to every
+// registered component — transports drop resolved addresses, coalescers
+// flush held frames — in place of the old point-to-point PeerEvictor hook.
 
 // graveRecord remembers one purged peer.
 type graveRecord struct {
@@ -27,39 +37,48 @@ type graveRecord struct {
 func (n *Node) rememberFailed(ref NodeRef) {
 	if n.cfg.ReconnectInterval <= 0 {
 		// No reconnect cache: the purge is final right away.
-		n.evictPeer(ref)
+		n.peers.Expel(ref.ID, ref.Addr)
 		return
 	}
-	if _, ok := n.graveyard[ref.ID]; ok {
+	now := n.env.Now()
+	rec := n.peers.Obtain(ref.ID, ref.Addr, now)
+	if rec.Get(n.slotGrave) != nil {
 		return
 	}
-	if len(n.graveyard) >= n.cfg.ReconnectCacheSize {
+	if n.peers.SlotCount(n.slotGrave) >= n.cfg.ReconnectCacheSize {
 		var victim *graveRecord
-		for _, rec := range n.graveyard {
-			if victim == nil || rec.tries > victim.tries ||
-				(rec.tries == victim.tries && rec.ref.ID.Cmp(victim.ref.ID) > 0) {
-				victim = rec
+		var victimRec *peer.Record
+		n.peers.Each(func(r *peer.Record) {
+			g, _ := r.Get(n.slotGrave).(*graveRecord)
+			if g == nil {
+				return
 			}
-		}
-		delete(n.graveyard, victim.ref.ID)
-		n.evictPeer(victim.ref)
+			if victim == nil || g.tries > victim.tries ||
+				(g.tries == victim.tries && g.ref.ID.Cmp(victim.ref.ID) > 0) {
+				victim, victimRec = g, r
+			}
+		})
+		n.peers.Put(victimRec, n.slotGrave, nil)
+		n.peers.Expel(victim.ref.ID, victim.ref.Addr)
 	}
-	n.graveyard[ref.ID] = &graveRecord{ref: ref, lastTry: n.env.Now()}
+	n.peers.Put(rec, n.slotGrave, &graveRecord{ref: ref, lastTry: now})
 }
 
-// evictPeer tells a PeerEvictor transport that ref is purged for good and
-// its per-peer transport state (resolved address, coalescing queue) can be
-// released.
-func (n *Node) evictPeer(ref NodeRef) {
-	if ev, ok := n.env.(PeerEvictor); ok {
-		ev.EvictPeer(ref)
+// graveFor returns the peer's reconnect record, nil when none (exposed
+// for tests and status reporting).
+func (n *Node) graveFor(x id.ID) *graveRecord {
+	rec := n.peers.Lookup(x)
+	if rec == nil {
+		return nil
 	}
+	g, _ := rec.Get(n.slotGrave).(*graveRecord)
+	return g
 }
 
 // forgetFailed drops ref's reconnect record (direct contact proved it
 // alive, or it re-entered routing state).
 func (n *Node) forgetFailed(ref NodeRef) {
-	delete(n.graveyard, ref.ID)
+	n.clearSlot(ref.ID, n.slotGrave)
 }
 
 // retryReconnect probes the least-recently-tried cache record, expiring
@@ -67,18 +86,22 @@ func (n *Node) forgetFailed(ref NodeRef) {
 // identifier so replays are deterministic despite map iteration order.
 func (n *Node) retryReconnect(now time.Duration) {
 	var rec *graveRecord
-	for _, r := range n.graveyard {
-		if rec == nil || r.lastTry < rec.lastTry ||
-			(r.lastTry == rec.lastTry && r.ref.ID.Cmp(rec.ref.ID) < 0) {
-			rec = r
+	n.peers.Each(func(r *peer.Record) {
+		g, _ := r.Get(n.slotGrave).(*graveRecord)
+		if g == nil {
+			return
 		}
-	}
+		if rec == nil || g.lastTry < rec.lastTry ||
+			(g.lastTry == rec.lastTry && g.ref.ID.Cmp(rec.ref.ID) < 0) {
+			rec = g
+		}
+	})
 	if rec == nil {
 		return
 	}
 	if rec.tries >= n.cfg.ReconnectRetries {
-		delete(n.graveyard, rec.ref.ID)
-		n.evictPeer(rec.ref)
+		n.clearSlot(rec.ref.ID, n.slotGrave)
+		n.peers.Expel(rec.ref.ID, rec.ref.Addr)
 		return
 	}
 	rec.tries++

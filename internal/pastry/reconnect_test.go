@@ -123,7 +123,7 @@ func TestReconnectCacheExpires(t *testing.T) {
 	horizon := 2*time.Minute + time.Duration(cfg.ReconnectRetries+2)*cfg.ReconnectInterval
 	net.run(horizon)
 	for _, n := range nodes[:len(nodes)-1] {
-		if rec, ok := n.graveyard[dead.Ref().ID]; ok {
+		if rec := n.graveFor(dead.Ref().ID); rec != nil {
 			t.Fatalf("node %v still holds a reconnect record for the dead node (tries=%d)",
 				n.Ref().ID, rec.tries)
 		}
@@ -137,11 +137,11 @@ func TestReconnectRecordLiftedOnContact(t *testing.T) {
 	node := net.addNode(id.Random(net.sim.Rand()), testConfig(), nil)
 	peer := NodeRef{ID: id.Random(net.sim.Rand()), Addr: "peer"}
 	node.rememberFailed(peer)
-	if _, ok := node.graveyard[peer.ID]; !ok {
+	if node.graveFor(peer.ID) == nil {
 		t.Fatalf("rememberFailed did not record the peer")
 	}
 	node.noteContact(peer, 0)
-	if _, ok := node.graveyard[peer.ID]; ok {
+	if node.graveFor(peer.ID) != nil {
 		t.Fatalf("noteContact left the reconnect record in place")
 	}
 }

@@ -147,7 +147,10 @@ func (n *Node) sendHop(lk *Lookup, jr *JoinRequest, key id.ID, to NodeRef, tried
 // seeded from the routing table's measured distance when no ack samples
 // exist yet.
 func (n *Node) rtoFor(to NodeRef) time.Duration {
-	est := n.rto[to.ID]
+	var est *rttEstimator
+	if rec := n.peers.Lookup(to.ID); rec != nil {
+		est, _ = rec.Get(n.slotRTT).(*rttEstimator)
+	}
 	fallback := 500 * time.Millisecond
 	if rtt, ok := n.rt.RTT(to.ID); ok {
 		fallback = 2 * rtt
@@ -235,7 +238,7 @@ func (n *Node) reroute(ph *pendingHop) {
 // a struggling peer sees a bounded retransmission rate rather than an
 // exponential storm of backoff copies from every held message.
 func (n *Node) retransmitSame(ph *pendingHop) {
-	if !n.retryAllowed(ph.to.ID) {
+	if !n.retryAllowed(ph.to) {
 		if ph.lookup != nil {
 			n.holdLookup(ph.lookup)
 		}
@@ -310,10 +313,11 @@ func (n *Node) handleAck(ack *Ack) {
 	}
 	n.breakerSuccess(ph.to.ID, ph.sentAt)
 	if !ph.retx {
-		est := n.rto[ph.to.ID]
+		rec := n.peers.Obtain(ph.to.ID, ph.to.Addr, n.env.Now())
+		est, _ := rec.Get(n.slotRTT).(*rttEstimator)
 		if est == nil {
 			est = &rttEstimator{}
-			n.rto[ph.to.ID] = est
+			n.peers.Put(rec, n.slotRTT, est)
 		}
 		rtt := n.env.Now() - ph.sentAt
 		est.observe(rtt)

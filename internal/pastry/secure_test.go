@@ -126,10 +126,10 @@ func TestSecureLookupGivesUpAfterMaxRounds(t *testing.T) {
 }
 
 // TestPruneOverloadStateEvictsDeparted pins the membership eviction:
-// breaker and retry-budget records survive pruning only while the peer
-// is still in the leaf set or routing table — state about anyone else
-// can never influence a next-hop decision and would otherwise accumulate
-// without bound under churn.
+// breaker and retry-budget state survives the registry sweep only while
+// the peer is still in the leaf set or routing table — state about
+// anyone else can never influence a next-hop decision and would
+// otherwise accumulate without bound under churn.
 func TestPruneOverloadStateEvictsDeparted(t *testing.T) {
 	net := newTestNet(t, 1)
 	nodes := buildOverlay(t, net, 4, testConfig())
@@ -144,26 +144,23 @@ func TestPruneOverloadStateEvictsDeparted(t *testing.T) {
 	}
 	now := net.sim.Now()
 
-	mk := func() *overload.Breaker {
+	for _, x := range []id.ID{member.ID, stranger} {
+		st := n.overloadOf(n.peers.Obtain(x, "", now))
 		b := &overload.Breaker{Threshold: n.cfg.BreakerThreshold,
 			Cooldown: n.cfg.BreakerCooldown, MaxCooldown: n.cfg.BreakerMaxCooldown}
 		b.Trip(now)
-		return b
-	}
-	n.breakers[member.ID] = mk()
-	n.breakers[stranger] = mk()
-	for _, x := range []id.ID{member.ID, stranger} {
+		st.breaker = b
 		tb := overload.NewTokenBucket(0.001, 4, now)
 		tb.Take(now)
-		n.retryBudget[x] = tb
+		st.budget = tb
 	}
 
-	n.pruneOverloadState(now)
+	n.sweepPeers()
 
-	if n.breakers[member.ID] == nil || n.retryBudget[member.ID] == nil {
+	if st := n.overloadFor(member.ID); st == nil || st.breaker == nil || st.budget == nil {
 		t.Fatal("active records for a routing-state member were evicted")
 	}
-	if n.breakers[stranger] != nil || n.retryBudget[stranger] != nil {
+	if st := n.overloadFor(stranger); st != nil {
 		t.Fatal("records for a departed peer survived pruning")
 	}
 }

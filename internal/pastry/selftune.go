@@ -3,6 +3,8 @@ package pastry
 import (
 	"math"
 	"time"
+
+	"mspastry/internal/peer"
 )
 
 // This file implements the self-tuning of the routing-table probing period
@@ -169,11 +171,13 @@ func (n *Node) retune(now time.Duration) {
 			mu, hops, n.cfg.MaxProbeRetries, minSec, maxSec)
 	}
 	n.trtLocal = time.Duration(local * float64(time.Second))
-	vals := make([]time.Duration, 0, len(n.trtHints)+1)
+	vals := make([]time.Duration, 0, n.peers.SlotCount(n.slotHint)+1)
 	vals = append(vals, n.trtLocal)
-	for _, v := range n.trtHints {
-		vals = append(vals, v)
-	}
+	n.peers.Each(func(rec *peer.Record) {
+		if h, _ := rec.Get(n.slotHint).(*trtHint); h != nil {
+			vals = append(vals, h.d)
+		}
+	})
 	n.trtCurrent = clampDuration(medianDuration(vals), n.cfg.MinTrt(), maxTrt)
 	if n.sobs != nil {
 		n.sobs.TrtTuned(n, n.trtCurrent)

@@ -169,7 +169,7 @@ func TestRetuneAdoptsMedianOfHints(t *testing.T) {
 	for i := uint64(1); i <= 5; i++ {
 		ref := NodeRef{ID: id.New(i<<40, i), Addr: string(rune('a' + i))}
 		n.rt.Add(ref)
-		n.trtHints[ref.ID] = time.Duration(i) * 100 * time.Second
+		n.setTrtHint(n.peers.Obtain(ref.ID, ref.Addr, 0), time.Duration(i)*100*time.Second)
 	}
 	n.retune(time.Hour)
 	// Values: local=maxTrt, hints 100..500s -> median of 6 values is

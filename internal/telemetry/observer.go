@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"mspastry/internal/pastry"
+	"mspastry/internal/peer"
 )
 
 // OverlayOptions tunes an Overlay observer.
@@ -219,4 +220,37 @@ func RecordNodeCounters(reg *Registry, c pastry.Counters) {
 		"Peers distrusted after a failed test lost the report vote.", c.SecureDistrusted)
 	set("mspastry_node_secure_giveups",
 		"Secure lookups that exhausted every redundant round without an accepted report.", c.SecureGiveUps)
+}
+
+// RecordPeerStats copies the node's per-peer state registry snapshot —
+// record cardinality by lifecycle class, sweep and eviction counters,
+// and the per-component slot breakdown — into the registry as gauges.
+func RecordPeerStats(reg *Registry, s peer.Stats) {
+	set := func(name, help string, v float64) {
+		reg.Gauge(name, help).Set(v)
+	}
+	set("mspastry_peers_live",
+		"Per-peer state records currently held.", float64(s.Live))
+	set("mspastry_peers_admitted",
+		"Peer records that have entered routing state at least once.", float64(s.Admitted))
+	set("mspastry_peers_strangers",
+		"Peer records never admitted to routing state (short TTL).", float64(s.Strangers))
+	set("mspastry_peers_doomed",
+		"Expelled peer records awaiting final deletion.", float64(s.Doomed))
+	set("mspastry_peers_sweeps_total",
+		"Registry prune passes run.", float64(s.Sweeps))
+	set("mspastry_peers_evicted_strangers_total",
+		"Never-admitted peer records evicted by TTL.", float64(s.EvictedStrangers))
+	set("mspastry_peers_evicted_admitted_total",
+		"Once-admitted peer records evicted by TTL.", float64(s.EvictedAdmitted))
+	set("mspastry_peers_expelled_total",
+		"Immediate eviction broadcasts (reconnect expiry, overflow).", float64(s.Expelled))
+	slotLive := reg.GaugeVec("mspastry_peers_slot_live",
+		"Records holding state in the component slot.", "slot")
+	slotDropped := reg.GaugeVec("mspastry_peers_slot_dropped_total",
+		"Slot values cleared by pruning in the component slot.", "slot")
+	for _, sl := range s.Slots {
+		slotLive.With(sl.Name).Set(float64(sl.Live))
+		slotDropped.With(sl.Name).Set(float64(sl.Dropped))
+	}
 }

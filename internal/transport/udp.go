@@ -32,9 +32,10 @@ import (
 const maxPacket = wire.DefaultMaxPacket
 
 // maxAddrCache bounds the resolved-address cache. The primary bound is
-// eviction on graveyard purge (EvictPeer); the cap is a backstop against
-// pathological churn with ephemeral ports, shedding an arbitrary entry
-// (entries re-resolve on demand).
+// the peer registry's eviction broadcast (entries are dropped when the
+// node evicts the peer); the cap is a backstop against pathological churn
+// with ephemeral ports, shedding an arbitrary entry (entries re-resolve
+// on demand).
 const maxAddrCache = 4096
 
 // UDP hosts one MSPastry node on a UDP socket.
@@ -63,8 +64,9 @@ type UDP struct {
 	inMu sync.Mutex
 	inQ  *overload.Queue
 
-	// Event-loop-confined state (Send, flush timers and EvictPeer all run
-	// there): the per-peer resolved-address cache and the coalescer.
+	// Event-loop-confined state (Send, flush timers and the registry's
+	// eviction broadcast all run there): the per-peer resolved-address
+	// cache and the coalescer.
 	addrs map[string]*net.UDPAddr
 	co    *wire.Coalescer
 }
@@ -254,6 +256,20 @@ func (t *UDP) CreateNode(nodeID id.ID, cfg pastry.Config, obs pastry.Observer) (
 	if err != nil {
 		return nil, err
 	}
+	// When the node's peer registry evicts a peer for good, release the
+	// transport's per-peer state: flush (not drop) any held coalesced
+	// frames while the resolved address is still cached, then forget the
+	// address. The broadcast fires from node processing, which runs on
+	// the event loop, so this touches loop-confined state safely.
+	n.Peers().OnEvict(func(x id.ID, addr string) {
+		if addr == "" {
+			return
+		}
+		if t.co != nil {
+			t.co.Evict(addr)
+		}
+		delete(t.addrs, addr)
+	})
 	t.node = n
 	return n, nil
 }
@@ -526,17 +542,6 @@ func (t *UDP) emitFrame(f wire.Flush) {
 	}
 	if sink := t.metricsSink(); sink != nil {
 		sink.DatagramSent(len(f.Frame), len(f.Msgs), f.SingleBytes-len(f.Frame), f.Held)
-	}
-}
-
-// EvictPeer implements pastry.PeerEvictor: when the node purges a peer for
-// good (graveyard expiry or eviction), the peer's resolved address and any
-// pending coalescing queue are released, keeping per-peer state bounded
-// under churn. Runs on the event loop.
-func (e *udpEnv) EvictPeer(ref pastry.NodeRef) {
-	delete(e.addrs, ref.Addr)
-	if e.co != nil {
-		e.co.Drop(ref.Addr)
 	}
 }
 

@@ -227,9 +227,24 @@ func (c *Coalescer) DiscardAll() {
 	}
 }
 
+// Evict releases the peer's queue for good, flushing any held messages
+// first: eviction is a lifecycle decision about the *peer*, not a crash
+// of the *sender*, so delay-tolerant frames already accepted for
+// transmission (heartbeats, informational gossip) still go out on the
+// wire instead of silently vanishing with the queue. Transports call it
+// from the peer registry's eviction broadcast.
+func (c *Coalescer) Evict(key string) {
+	q := c.queues[key]
+	if q == nil {
+		return
+	}
+	c.flush(q)
+	c.Drop(key)
+}
+
 // Drop discards the peer's queue, including any pending messages, and
-// releases its buffer. Transports call it when a peer is purged for good
-// (graveyard expiry), so per-peer state does not grow without bound.
+// releases its buffer. Use Evict for lifecycle eviction — Drop loses
+// held messages and is only right when they must not be sent.
 func (c *Coalescer) Drop(key string) {
 	q := c.queues[key]
 	if q == nil {
