@@ -507,7 +507,9 @@ func (s *Store) replicate(o store.Object) {
 
 // replicaTargets returns the k-1 leaf members closest to key.
 func (s *Store) replicaTargets(key id.ID) []pastry.NodeRef {
-	members := s.node.Leaf().Members()
+	// Copy: Members() returns a shared snapshot and the selection sort
+	// below reorders in place.
+	members := append([]pastry.NodeRef(nil), s.node.Leaf().Members()...)
 	// Selection sort of the k-1 closest; leaf sets are small.
 	want := s.cfg.ReplicationFactor - 1
 	if want > len(members) {

@@ -162,6 +162,49 @@ func CloserToKey(k, a, b ID) bool {
 	return k.Clockwise(a).Cmp(k.Clockwise(b)) < 0
 }
 
+// digitStep is the precomputed extraction plan for one (b, i) digit
+// position: where the digit's least-significant bit sits and whether the
+// digit straddles the Hi/Lo word boundary.
+type digitStep struct {
+	// shift is the right-shift inside the containing word: Hi when hi is
+	// set, Lo otherwise.
+	shift uint8
+	// hi marks digits living entirely in the high word.
+	hi bool
+	// merge, when non-zero, is the left-shift applied to Hi to supply the
+	// high bits of a digit that straddles the word boundary (b=3, 5, 6, 7).
+	merge uint8
+}
+
+// digitPlans[b] holds one step per digit position; digitMasks[b] is the
+// digit's value mask. Routing extracts a digit on every routing-table row
+// selection and repair-slot computation, so the plans are built once at
+// package init instead of re-deriving shift arithmetic per call.
+var (
+	digitPlans [9][]digitStep
+	digitMasks [9]uint64
+)
+
+func init() {
+	for b := 1; b <= 8; b++ {
+		digitMasks[b] = uint64(1)<<b - 1
+		nd := Bits / b
+		digitPlans[b] = make([]digitStep, nd)
+		for i := 0; i < nd; i++ {
+			shift := Bits - (i+1)*b
+			if shift >= 64 {
+				digitPlans[b][i] = digitStep{shift: uint8(shift - 64), hi: true}
+				continue
+			}
+			st := digitStep{shift: uint8(shift)}
+			if shift+b > 64 {
+				st.merge = uint8(64 - shift)
+			}
+			digitPlans[b][i] = st
+		}
+	}
+}
+
 // Digit returns the i-th digit of x (0-based from the most significant end)
 // when x is written in base 2^b. It panics if the digit index is out of
 // range for the given base.
@@ -169,23 +212,21 @@ func (x ID) Digit(i, b int) int {
 	if b <= 0 || b > 8 {
 		panic(fmt.Sprintf("id: digit base 2^%d out of range", b))
 	}
-	nd := Bits / b
-	if i < 0 || i >= nd {
+	plan := digitPlans[b]
+	if i < 0 || i >= len(plan) {
 		panic(fmt.Sprintf("id: digit index %d out of range for b=%d", i, b))
 	}
-	shift := Bits - (i+1)*b
-	mask := uint64(1)<<b - 1
-	if shift >= 64 {
-		return int((x.Hi >> (shift - 64)) & mask)
+	st := plan[i]
+	if st.hi {
+		return int((x.Hi >> st.shift) & digitMasks[b])
 	}
 	// The digit may straddle the 64-bit boundary when 128 is not a multiple
 	// of b (e.g. b=3). Reassemble it from both halves.
-	lopart := x.Lo >> shift
-	hibits := shift + b - 64
-	if hibits > 0 {
-		lopart |= x.Hi << (64 - shift)
+	v := x.Lo >> st.shift
+	if st.merge != 0 {
+		v |= x.Hi << st.merge
 	}
-	return int(lopart & mask)
+	return int(v & digitMasks[b])
 }
 
 // NumDigits returns the number of base-2^b digits in an identifier,
@@ -194,12 +235,13 @@ func (x ID) Digit(i, b int) int {
 func NumDigits(b int) int { return Bits / b }
 
 // CommonPrefixLen returns the number of leading base-2^b digits shared by x
-// and y.
+// and y. The arithmetic form stays within the compiler's inlining budget
+// (unlike a lookup table), and the division strength-reduces to a shift at
+// call sites where b is a power-of-two constant.
 func CommonPrefixLen(x, y ID, b int) int {
 	xor := ID{Hi: x.Hi ^ y.Hi, Lo: x.Lo ^ y.Lo}
-	lz := leadingZeros(xor)
-	n := lz / b
-	if nd := NumDigits(b); n > nd {
+	n := leadingZeros(xor) / b
+	if nd := Bits / b; n > nd {
 		n = nd
 	}
 	return n

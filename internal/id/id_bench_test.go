@@ -1,0 +1,45 @@
+package id
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkDigit measures base-2^b digit extraction, which routing calls
+// for every routing-table row selection and repair-slot computation.
+func BenchmarkDigit(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ids := make([]ID, 1024)
+	for i := range ids {
+		ids[i] = Random(rng)
+	}
+	b.Run("b4", func(b *testing.B) {
+		var sink int
+		for i := 0; i < b.N; i++ {
+			sink += ids[i%len(ids)].Digit(i%NumDigits(4), 4)
+		}
+		_ = sink
+	})
+	b.Run("b3-straddle", func(b *testing.B) {
+		var sink int
+		for i := 0; i < b.N; i++ {
+			sink += ids[i%len(ids)].Digit(i%NumDigits(3), 3)
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkCommonPrefixLen measures shared-prefix computation, run on
+// every next-hop decision and join-row contribution.
+func BenchmarkCommonPrefixLen(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	ids := make([]ID, 1024)
+	for i := range ids {
+		ids[i] = Random(rng)
+	}
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += CommonPrefixLen(ids[i%len(ids)], ids[(i+1)%len(ids)], 4)
+	}
+	_ = sink
+}

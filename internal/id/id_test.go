@@ -373,3 +373,64 @@ func TestNumDigits(t *testing.T) {
 		}
 	}
 }
+
+// referenceDigit is the original shift-arithmetic implementation; the
+// table-driven Digit must agree with it at every (b, i) position.
+func referenceDigit(x ID, i, b int) int {
+	shift := Bits - (i+1)*b
+	mask := uint64(1)<<b - 1
+	if shift >= 64 {
+		return int((x.Hi >> (shift - 64)) & mask)
+	}
+	lopart := x.Lo >> shift
+	if shift+b-64 > 0 {
+		lopart |= x.Hi << (64 - shift)
+	}
+	return int(lopart & mask)
+}
+
+func TestDigitTableMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ids := []ID{Zero, Max, Half, {Hi: 1}, {Lo: 1}, {Hi: ^uint64(0)}, {Lo: ^uint64(0)}}
+	for i := 0; i < 64; i++ {
+		ids = append(ids, Random(rng))
+	}
+	for b := 1; b <= 8; b++ {
+		for _, x := range ids {
+			for i := 0; i < NumDigits(b); i++ {
+				if got, want := x.Digit(i, b), referenceDigit(x, i, b); got != want {
+					t.Fatalf("Digit(%d, %d) of %s = %d, want %d", i, b, x, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCommonPrefixLenTableMatchesReference(t *testing.T) {
+	ref := func(x, y ID, b int) int {
+		xor := ID{Hi: x.Hi ^ y.Hi, Lo: x.Lo ^ y.Lo}
+		lz := leadingZeros(xor)
+		n := lz / b
+		if nd := NumDigits(b); n > nd {
+			n = nd
+		}
+		return n
+	}
+	rng := rand.New(rand.NewSource(43))
+	for b := 1; b <= 8; b++ {
+		for trial := 0; trial < 256; trial++ {
+			x, y := Random(rng), Random(rng)
+			// Force long shared prefixes for a fraction of trials.
+			if trial%4 == 0 {
+				y = x
+				y.Lo ^= uint64(1) << uint(rng.Intn(64))
+			}
+			if trial%8 == 0 {
+				y = x
+			}
+			if got, want := CommonPrefixLen(x, y, b), ref(x, y, b); got != want {
+				t.Fatalf("CommonPrefixLen(%s, %s, %d) = %d, want %d", x, y, b, got, want)
+			}
+		}
+	}
+}

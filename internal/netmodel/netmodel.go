@@ -255,10 +255,7 @@ func (ep *Endpoint) Send(to pastry.NodeRef, m pastry.Message) {
 		m = nw.adv.rewriteOutbound(ep, to, m)
 	}
 	if nw.coWindow <= 0 {
-		buf := wire.GetBuf()
-		*buf = pastry.AppendMessage(*buf, m)
-		size := wire.SingleSize(len(*buf))
-		wire.PutBuf(buf)
+		size := wire.SingleSize(pastry.MessageWireSize(m))
 		if nw.onSend != nil {
 			nw.onSend(ep, to, m, size)
 		}

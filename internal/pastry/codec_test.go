@@ -169,3 +169,29 @@ func BenchmarkCodecDecodeLookupEnvelope(b *testing.B) {
 		}
 	}
 }
+
+// TestMessageWireSizeMatchesEncoding pins the arithmetic size computation
+// to the real encoder for every message type, including varint boundary
+// values (0, 127, 128, max) and negative durations.
+func TestMessageWireSizeMatchesEncoding(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	msgs := sampleMessages(rng)
+	msgs = append(msgs,
+		&RootReport{From: randRef(rng), Seq: 77, Key: id.Random(rng),
+			Leaves: randRefs(rng, 9), TrtHint: 45 * time.Second},
+		&RootReport{From: randRef(rng)},
+		&Ack{Xfer: 0, From: NodeRef{ID: id.Random(rng)}, TrtHint: -time.Second},
+		&Ack{Xfer: 127, From: randRef(rng)},
+		&Ack{Xfer: 128, From: randRef(rng)},
+		&Ack{Xfer: ^uint64(0), From: randRef(rng), TrtHint: time.Duration(^uint64(0) >> 1)},
+		&Envelope{Xfer: 300, From: randRef(rng), TrtHint: -time.Hour,
+			Lookup: &Lookup{Key: id.Random(rng), Seq: ^uint64(0), TraceID: 1 << 50,
+				Origin: randRef(rng), Issued: -time.Minute, Hops: 200,
+				WantReport: true, Payload: make([]byte, 300)}},
+	)
+	for _, m := range msgs {
+		if got, want := MessageWireSize(m), len(AppendMessage(nil, m)); got != want {
+			t.Errorf("MessageWireSize(%T) = %d, want %d", m, got, want)
+		}
+	}
+}

@@ -19,7 +19,7 @@ func (n *Node) sendJoinRequest(seed NodeRef) {
 		join:    jr,
 		key:     n.self.ID,
 		to:      seed,
-		tried:   map[id.ID]bool{seed.ID: true},
+		tried:   newTriedSet(seed.ID),
 		sentAt:  n.env.Now(),
 		needAck: true,
 	}

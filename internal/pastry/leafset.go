@@ -19,6 +19,13 @@ type LeafSet struct {
 	// left is sorted by counter-clockwise distance from self (closest
 	// first); right is sorted by clockwise distance (closest first).
 	left, right []NodeRef
+	// members caches the deduplicated union of both sides. Routing
+	// fallback, delivery guards, probing and the dht sweeps all enumerate
+	// the membership far more often than it changes, so the union is
+	// rebuilt lazily after a mutation instead of on every read. nil means
+	// stale; rebuilds always allocate a fresh slice so previously returned
+	// snapshots stay immutable.
+	members []NodeRef
 }
 
 // NewLeafSet creates an empty leaf set for a node with the given id and
@@ -43,6 +50,9 @@ func (ls *LeafSet) Add(ref NodeRef) bool {
 		return a.ID.Clockwise(ls.self).Cmp(b.ID.Clockwise(ls.self)) < 0
 	}) {
 		changed = true
+	}
+	if changed {
+		ls.members = nil
 	}
 	return changed
 }
@@ -79,6 +89,9 @@ func (ls *LeafSet) Remove(x id.ID) bool {
 	removed := removeID(&ls.left, x)
 	if removeID(&ls.right, x) {
 		removed = true
+	}
+	if removed {
+		ls.members = nil
 	}
 	return removed
 }
@@ -239,19 +252,27 @@ func (ls *LeafSet) Closest(k id.ID, excluded func(id.ID) bool) (NodeRef, bool) {
 	return best, true
 }
 
-// Members returns all distinct leaf-set members.
+// Members returns all distinct leaf-set members, left side first. The
+// returned slice is a shared snapshot: callers must not modify it, and its
+// capacity is clipped so appending to it cannot either.
 func (ls *LeafSet) Members() []NodeRef {
-	seen := make(map[id.ID]bool, len(ls.left)+len(ls.right))
-	out := make([]NodeRef, 0, len(ls.left)+len(ls.right))
-	for _, side := range [][]NodeRef{ls.left, ls.right} {
-		for _, e := range side {
-			if !seen[e.ID] {
-				seen[e.ID] = true
-				out = append(out, e)
+	if ls.members == nil {
+		out := make([]NodeRef, 0, len(ls.left)+len(ls.right))
+		out = append(out, ls.left...)
+		// Both sides are small (≤ l/2 each), so a linear dedup scan beats
+		// a map allocation.
+	rightSide:
+		for _, e := range ls.right {
+			for _, l := range ls.left {
+				if l.ID == e.ID {
+					continue rightSide
+				}
 			}
+			out = append(out, e)
 		}
+		ls.members = out[:len(out):len(out)]
 	}
-	return out
+	return ls.members
 }
 
 // Size returns the number of distinct members.

@@ -162,7 +162,7 @@ type pendingHop struct {
 	to       NodeRef
 	attempts int
 	// tried holds next hops already attempted for this message.
-	tried   map[id.ID]bool
+	tried   *triedSet
 	timer   Timer
 	sentAt  time.Duration
 	retx    bool

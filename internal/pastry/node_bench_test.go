@@ -117,3 +117,48 @@ func BenchmarkSolveTrt(b *testing.B) {
 		solveTrt(0.05, 30, 3, 1.2e-4, 2.57, 2, 9, 3600)
 	}
 }
+
+// BenchmarkLeafSetMembers measures the deduplicated member enumeration
+// that routing fallback, delivery guards, probing and the dht sweeps all
+// call — one of the hottest read paths in the node.
+func BenchmarkLeafSetMembers(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	self := id.Random(rng)
+	ls := NewLeafSet(self, 32)
+	for i := 0; i < 4096; i++ {
+		ls.Add(NodeRef{ID: id.Random(rng), Addr: "x"})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += len(ls.Members())
+	}
+	_ = sink
+}
+
+// BenchmarkMessageWireSize measures the per-send size accounting the
+// simulated network charges every message (netmodel Send, no coalescing).
+func BenchmarkMessageWireSize(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	leaves := make([]NodeRef, 16)
+	for i := range leaves {
+		leaves[i] = NodeRef{ID: id.Random(rng), Addr: "12345"}
+	}
+	msgs := []Message{
+		&Ack{Xfer: 12345, From: leaves[0], TrtHint: 30 * time.Second},
+		&Heartbeat{From: leaves[1], TrtHint: 30 * time.Second},
+		&Envelope{
+			Xfer: 9, NeedAck: true, From: leaves[2], TrtHint: 30 * time.Second,
+			Lookup: &Lookup{Key: id.Random(rng), Seq: 77, Origin: leaves[3]},
+		},
+		&LSProbe{From: leaves[4], Leaves: leaves, TrtHint: 30 * time.Second},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += MessageWireSize(msgs[i%len(msgs)])
+	}
+	_ = sink
+}

@@ -8,13 +8,52 @@ import (
 
 const maxTrt = time.Hour
 
+// triedSet records the next hops already attempted for one routed message.
+// A message tries at most MaxRouteAttempts hops, so membership is a linear
+// scan over a few entries backed by a small inline array — no per-hop map
+// allocation, and reroutes beyond the inline capacity (rare) spill to a
+// heap slice. The zero value is empty; a nil *triedSet is a valid empty
+// set for reads.
+type triedSet struct {
+	ids []id.ID
+	buf [4]id.ID
+}
+
+func newTriedSet(x id.ID) *triedSet {
+	t := new(triedSet)
+	t.add(x)
+	return t
+}
+
+func (t *triedSet) add(x id.ID) {
+	if t.has(x) {
+		return
+	}
+	if t.ids == nil {
+		t.ids = t.buf[:0]
+	}
+	t.ids = append(t.ids, x)
+}
+
+func (t *triedSet) has(x id.ID) bool {
+	if t == nil {
+		return false
+	}
+	for _, e := range t.ids {
+		if e == x {
+			return true
+		}
+	}
+	return false
+}
+
 // isExcluded reports whether a node must be routed around: it has been
 // marked faulty, or it is temporarily excluded after a missed per-hop ack,
 // or its circuit breaker is open (fast-fail: consecutive missed acks mean
 // the peer is overloaded or dead, so traffic reroutes immediately instead
 // of paying a retransmission timeout per message), or it was already
 // tried for this particular message.
-func (n *Node) isExcluded(tried map[id.ID]bool) func(id.ID) bool {
+func (n *Node) isExcluded(tried *triedSet) func(id.ID) bool {
 	return func(x id.ID) bool {
 		if n.excluded[x] {
 			return true
@@ -25,7 +64,7 @@ func (n *Node) isExcluded(tried map[id.ID]bool) func(id.ID) bool {
 		if n.breakerDenies(x) {
 			return true
 		}
-		return tried != nil && tried[x]
+		return tried.has(x)
 	}
 }
 
@@ -33,7 +72,7 @@ func (n *Node) isExcluded(tried map[id.ID]bool) func(id.ID) bool {
 // the routing-table slot for the key's prefix, then any known node closer
 // to the key that keeps the prefix invariant (routing around failures).
 // It returns the local node with self=true when the message has arrived.
-func (n *Node) nextHop(k id.ID, tried map[id.ID]bool) (ref NodeRef, self bool, emptySlot bool) {
+func (n *Node) nextHop(k id.ID, tried *triedSet) (ref NodeRef, self bool, emptySlot bool) {
 	excl := n.isExcluded(tried)
 	if n.ls.InRange(k) {
 		best, other := n.ls.Closest(k, excl)
@@ -72,7 +111,7 @@ func (n *Node) nextHop(k id.ID, tried map[id.ID]bool) (ref NodeRef, self bool, e
 
 // routeLookup advances a lookup one overlay hop (or delivers it). The
 // application's Forward hook can consume the message instead.
-func (n *Node) routeLookup(lk *Lookup, tried map[id.ID]bool) {
+func (n *Node) routeLookup(lk *Lookup, tried *triedSet) {
 	next, self, emptySlot := n.nextHop(lk.Key, tried)
 	if self {
 		n.receiveRootLookup(lk)
@@ -91,11 +130,11 @@ func (n *Node) routeLookup(lk *Lookup, tried map[id.ID]bool) {
 // joiner itself is excluded from next-hop selection: it may already appear
 // in routing state (opportunistic insertion on direct contact), but the
 // join must terminate at the existing node closest to the joiner's id.
-func (n *Node) routeJoin(jr *JoinRequest, tried map[id.ID]bool) {
+func (n *Node) routeJoin(jr *JoinRequest, tried *triedSet) {
 	if tried == nil {
-		tried = make(map[id.ID]bool, 1)
+		tried = new(triedSet)
 	}
-	tried[jr.Joiner.ID] = true
+	tried.add(jr.Joiner.ID)
 	next, self, emptySlot := n.nextHop(jr.Joiner.ID, tried)
 	if self {
 		n.receiveRootJoin(jr)
@@ -109,7 +148,7 @@ func (n *Node) routeJoin(jr *JoinRequest, tried map[id.ID]bool) {
 
 // sendHop transmits one overlay hop inside an Envelope, arming the per-hop
 // retransmission timer when acks are in use.
-func (n *Node) sendHop(lk *Lookup, jr *JoinRequest, key id.ID, to NodeRef, tried map[id.ID]bool, needAck bool) {
+func (n *Node) sendHop(lk *Lookup, jr *JoinRequest, key id.ID, to NodeRef, tried *triedSet, needAck bool) {
 	n.nextXfer++
 	xfer := n.nextXfer
 	env := &Envelope{
@@ -121,9 +160,15 @@ func (n *Node) sendHop(lk *Lookup, jr *JoinRequest, key id.ID, to NodeRef, tried
 		TrtHint: n.trtLocal,
 	}
 	if tried == nil {
-		tried = make(map[id.ID]bool)
+		// Unacked hops never reroute, so the set only matters when a
+		// pendingHop will carry it forward.
+		if !needAck {
+			n.finishHop(lk, to, env)
+			return
+		}
+		tried = new(triedSet)
 	}
-	tried[to.ID] = true
+	tried.add(to.ID)
 	if needAck {
 		ph := &pendingHop{
 			lookup:  lk,
@@ -137,6 +182,10 @@ func (n *Node) sendHop(lk *Lookup, jr *JoinRequest, key id.ID, to NodeRef, tried
 		n.pending[xfer] = ph
 		ph.timer = n.schedule(n.rtoFor(to), func() { n.hopTimeout(xfer) })
 	}
+	n.finishHop(lk, to, env)
+}
+
+func (n *Node) finishHop(lk *Lookup, to NodeRef, env *Envelope) {
 	if lk != nil && n.tobs != nil {
 		n.tobs.LookupHop(n, lk, to, HopForward)
 	}
@@ -219,7 +268,7 @@ func (n *Node) reroute(ph *pendingHop) {
 		Join:    ph.join,
 		TrtHint: n.trtLocal,
 	}
-	ph.tried[next.ID] = true
+	ph.tried.add(next.ID)
 	ph.to = next
 	ph.sentAt = n.env.Now()
 	ph.retx = true
@@ -333,12 +382,12 @@ func (n *Node) handleAck(ack *Ack) {
 // a node exists would violate consistency: the suspect is probably alive
 // (aggressive retransmission timeouts are prone to false positives), and
 // it — not us — is the key's root.
-func (n *Node) closerExcludedExists(k id.ID, tried map[id.ID]bool) bool {
+func (n *Node) closerExcludedExists(k id.ID, tried *triedSet) bool {
 	if !n.cfg.HoldOnSuspect {
 		return false
 	}
 	for _, m := range n.ls.Members() {
-		if !n.excluded[m.ID] && !tried[m.ID] && !n.breakerDenies(m.ID) {
+		if !n.excluded[m.ID] && !tried.has(m.ID) && !n.breakerDenies(m.ID) {
 			continue
 		}
 		if _, bad := n.failed[m.ID]; bad {

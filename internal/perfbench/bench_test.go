@@ -1,0 +1,29 @@
+package perfbench
+
+import (
+	"testing"
+)
+
+// benchScale shrinks the canonical scenarios for benchmark iterations.
+// The CI regression gate compares these benchmarks between the PR head
+// and its merge-base with benchstat, so keep each iteration around a
+// second: long enough to dominate setup, short enough for -count=5.
+const benchScale = 4
+
+// BenchmarkScenario runs each canonical macro scenario end to end. ns/op
+// and allocs/op here are the numbers the CI benchmark-regression gate
+// enforces for the tier-1 scenarios (see Tier1).
+func BenchmarkScenario(b *testing.B) {
+	for _, sc := range Scenarios(benchScale) {
+		sc := sc
+		b.Run(sc.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				rep := Run(sc)
+				events += rep.SimEvents
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}

@@ -1,0 +1,55 @@
+package perfbench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// FileName returns the canonical report file name for a scenario.
+func FileName(scenario string) string {
+	return "BENCH_" + scenario + ".json"
+}
+
+// WriteFile serialises the report into dir under its canonical name and
+// returns the written path.
+func (r Report) WriteFile(dir string) (string, error) {
+	if r.Schema != SchemaVersion {
+		return "", fmt.Errorf("perfbench: refusing to write schema %d (current %d)", r.Schema, SchemaVersion)
+	}
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	buf = append(buf, '\n')
+	path := filepath.Join(dir, FileName(r.Scenario))
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ReadFile loads and validates one BENCH_*.json report. Unknown fields
+// and unknown schema versions are errors, so the trajectory tooling fails
+// loudly instead of silently comparing incompatible layouts.
+func ReadFile(path string) (Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	dec := json.NewDecoder(bytes.NewReader(buf))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return Report{}, fmt.Errorf("perfbench: %s: %w", path, err)
+	}
+	if r.Schema != SchemaVersion {
+		return Report{}, fmt.Errorf("perfbench: %s: schema %d, want %d", path, r.Schema, SchemaVersion)
+	}
+	if r.Scenario == "" {
+		return Report{}, fmt.Errorf("perfbench: %s: missing scenario name", path)
+	}
+	return r, nil
+}

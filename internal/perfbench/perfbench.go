@@ -1,0 +1,284 @@
+// Package perfbench is the deterministic macro-benchmark suite behind the
+// repo's performance trajectory. It drives the seeded simulation harness
+// through a small set of canonical scenarios — steady-state lookups, heavy
+// churn, 5x overload, Byzantine routing at f=0.1, and a zipf hotspot
+// workload — and reports both machine-dependent cost metrics (wall ns/op,
+// allocs/op, bytes/op, simulator events/sec) and machine-independent
+// protocol metrics (lookup latency quantiles, maintenance traffic,
+// success rate, hops).
+//
+// Every scenario is fully seeded: the protocol metrics of a run are
+// bit-reproducible, so regressions in them are code changes, never noise.
+// The cost metrics vary with the machine and are only comparable between
+// two runs on the same host (which is exactly how the CI regression gate
+// uses them: PR head vs merge-base on one runner).
+//
+// mspastry-bench -json emits one BENCH_<scenario>.json per scenario; the
+// committed copies at the repository root form the perf trajectory across
+// PRs.
+package perfbench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"mspastry/internal/harness"
+	"mspastry/internal/netmodel"
+	"mspastry/internal/telemetry"
+	"mspastry/internal/trace"
+)
+
+// SchemaVersion identifies the BENCH_*.json layout. Bump it when fields
+// change incompatibly; readers reject unknown versions.
+const SchemaVersion = 1
+
+// Scenario is one canonical macro-benchmark workload.
+type Scenario struct {
+	// Name is the scenario identifier; the JSON report is written to
+	// BENCH_<Name>.json.
+	Name string
+	// Nodes is the average overlay population.
+	Nodes int
+	// Duration is the simulated measurement window.
+	Duration time.Duration
+	// Session is the mean Poisson session time (shorter = heavier churn).
+	Session time.Duration
+	// LookupRate is application lookups per second per node.
+	LookupRate float64
+	// Seed drives all randomness in the run.
+	Seed int64
+
+	// configure applies scenario-specific knobs (overload service model,
+	// adversary, zipf workload) on top of the base config.
+	configure func(*harness.Config)
+}
+
+// scale shrinks a scenario for fast runs: population and duration divide
+// by div (floors keep the overlay routable).
+func (s Scenario) scale(div int) Scenario {
+	if div <= 1 {
+		return s
+	}
+	out := s
+	out.Nodes = maxInt(16, s.Nodes/div)
+	out.Duration = maxDur(2*time.Minute, s.Duration/time.Duration(div))
+	return out
+}
+
+// Scenarios returns the five canonical scenarios at full benchmark scale.
+// div > 1 shrinks population and duration for CI-speed runs; the scenario
+// set and seeds are identical at every scale, so trajectories at one
+// scale stay comparable.
+func Scenarios(div int) []Scenario {
+	base := []Scenario{
+		{
+			// Steady state: long sessions, the paper's base lookup mix.
+			// This is the pure hot-path scenario — routing, acks and
+			// maintenance with almost no repair traffic.
+			Name: "steady", Nodes: 100, Duration: 30 * time.Minute,
+			Session: 4 * time.Hour, LookupRate: 0.1, Seed: 1,
+		},
+		{
+			// Churn: 15-minute sessions (the paper's harshest Figure 5
+			// regime), exercising joins, repair and failure detection.
+			Name: "churn", Nodes: 100, Duration: 30 * time.Minute,
+			Session: 15 * time.Minute, LookupRate: 0.1, Seed: 1,
+		},
+		{
+			// Overload 5x: bounded service capacity with lookup load at
+			// five times the 1/s baseline — the PR 5 degradation regime.
+			Name: "overload5x", Nodes: 40, Duration: 10 * time.Minute,
+			Session: 4 * time.Hour, LookupRate: 5, Seed: 1,
+			configure: func(c *harness.Config) {
+				c.Service = netmodel.ServiceModel{QueueLimit: 32, Rate: 50}
+				// The PR 5 overload regime: the RTO floor must exceed the
+				// worst-case round-trip queueing delay 2*QueueLimit/Rate
+				// (= 1.28s) or duplicate storms collapse the sweep, and
+				// the aggregate retry rate (Nodes * budget) must stay
+				// below a peer's service rate.
+				c.Pastry.L = 16
+				c.Pastry.MinRTO = 1500 * time.Millisecond
+				c.Pastry.RetryBudgetRate = 0.2
+				c.Pastry.RetryBudgetBurst = 2
+			},
+		},
+		{
+			// Secure f=0.1: ten percent Byzantine peers with the full
+			// defense stack on — the PR 6 restoration regime.
+			Name: "secure", Nodes: 60, Duration: 20 * time.Minute,
+			Session: 4 * time.Hour, LookupRate: 0.05, Seed: 1,
+			configure: func(c *harness.Config) {
+				c.MaliciousFraction = 0.1
+				c.Pastry.SecureRouting = true
+			},
+		},
+		{
+			// Hotspot: zipf(1.0) keys concentrate lookups on few roots —
+			// the PR 7 popularity regime, at the routing layer.
+			Name: "hotspot", Nodes: 80, Duration: 10 * time.Minute,
+			Session: 4 * time.Hour, LookupRate: 1, Seed: 1,
+			configure: func(c *harness.Config) {
+				c.Workload = harness.WorkloadZipf
+				c.ZipfS = 1.0
+				c.ZipfKeys = 256
+			},
+		},
+	}
+	out := make([]Scenario, len(base))
+	for i, s := range base {
+		out[i] = s.scale(div)
+	}
+	return out
+}
+
+// Tier1 names the scenarios the CI regression gate enforces. They are the
+// cheapest, lowest-variance scenarios; the others are tracked but
+// advisory.
+func Tier1() []string { return []string{"steady", "churn"} }
+
+// ByName returns the scenario with the given name at the given scale.
+func ByName(name string, div int) (Scenario, error) {
+	for _, s := range Scenarios(div) {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("perfbench: unknown scenario %q", name)
+}
+
+// Config builds the deterministic harness configuration for the scenario.
+// Two calls return configurations that produce bit-identical runs.
+func (s Scenario) Config() harness.Config {
+	// CorpNet is the smallest paper topology and is never scaled, so
+	// topology construction stays cheap and identical at every scenario
+	// scale.
+	topo, err := harness.BuildTopology("corpnet", 1, s.Seed)
+	if err != nil {
+		panic(err)
+	}
+	tr := trace.Generate(trace.Poisson(s.Session, s.Nodes, s.Duration))
+	cfg := harness.DefaultConfig(topo, tr)
+	cfg.Seed = s.Seed
+	cfg.LookupRate = s.LookupRate
+	cfg.SetupRamp = 2 * time.Minute
+	cfg.Window = 5 * time.Minute
+	if s.configure != nil {
+		s.configure(&cfg)
+	}
+	return cfg
+}
+
+// Report is one scenario's measurement, serialised to BENCH_<name>.json.
+//
+// The fields split into two groups. Protocol metrics (sim events, lookup
+// quantiles, maintenance traffic, success, hops) are deterministic for a
+// given code version: any change in them is a behaviour change. Cost
+// metrics (WallNs, allocs, bytes, events/sec) measure this machine on
+// this run and carry meaning only relative to another run on the same
+// host.
+type Report struct {
+	Schema   int    `json:"schema"`
+	Scenario string `json:"scenario"`
+	Seed     int64  `json:"seed"`
+	Nodes    int    `json:"nodes"`
+	// SimDurationSec is the simulated measurement window in seconds.
+	SimDurationSec float64 `json:"sim_duration_sec"`
+
+	// Cost metrics (machine-dependent).
+	WallNs          int64   `json:"ns_per_op"`
+	AllocsPerOp     uint64  `json:"allocs_per_op"`
+	BytesPerOp      uint64  `json:"bytes_per_op"`
+	SimEvents       uint64  `json:"sim_events"`
+	SimEventsPerSec float64 `json:"sim_events_per_sec"`
+
+	// Protocol metrics (deterministic at fixed seed and code version).
+	LookupP50Ms               float64 `json:"lookup_p50_ms"`
+	LookupP95Ms               float64 `json:"lookup_p95_ms"`
+	LookupP99Ms               float64 `json:"lookup_p99_ms"`
+	MaintenanceMsgsPerNodeSec float64 `json:"maintenance_msgs_per_node_sec"`
+	ControlBytesPerNodeSec    float64 `json:"control_bytes_per_node_sec"`
+	LookupsIssued             int     `json:"lookups_issued"`
+	LookupsDelivered          int     `json:"lookups_delivered"`
+	LookupSuccessRate         float64 `json:"lookup_success_rate"`
+	MeanHops                  float64 `json:"mean_hops"`
+}
+
+// Run executes the scenario once and measures it. The protocol metrics in
+// the returned report are deterministic; the cost metrics reflect this
+// process on this machine.
+func Run(sc Scenario) Report {
+	cfg := sc.Config()
+	reg := telemetry.NewRegistry()
+	cfg.Telemetry = reg
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+
+	res := harness.Run(cfg)
+
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	// The lookup delay histogram the telemetry overlay fills during the
+	// run; registering again with the same name returns the same family.
+	delay := reg.Histogram("mspastry_lookup_delay_seconds", "", telemetry.DefBuckets)
+
+	t := res.Totals
+	rep := Report{
+		Schema:         SchemaVersion,
+		Scenario:       sc.Name,
+		Seed:           sc.Seed,
+		Nodes:          sc.Nodes,
+		SimDurationSec: sc.Duration.Seconds(),
+
+		WallNs:      wall.Nanoseconds(),
+		AllocsPerOp: after.Mallocs - before.Mallocs,
+		BytesPerOp:  after.TotalAlloc - before.TotalAlloc,
+		SimEvents:   res.SimEvents,
+
+		LookupP50Ms:               1000 * delay.Quantile(0.50),
+		LookupP95Ms:               1000 * delay.Quantile(0.95),
+		LookupP99Ms:               1000 * delay.Quantile(0.99),
+		MaintenanceMsgsPerNodeSec: t.ControlPerNodeSec,
+		ControlBytesPerNodeSec:    t.ControlBytesPerNodeSec,
+		LookupsIssued:             t.Issued,
+		LookupsDelivered:          t.Delivered,
+		MeanHops:                  t.MeanHops,
+	}
+	if wall > 0 {
+		rep.SimEventsPerSec = float64(res.SimEvents) / wall.Seconds()
+	}
+	if t.Issued > 0 {
+		rep.LookupSuccessRate = float64(t.Delivered) / float64(t.Issued)
+	}
+	return rep
+}
+
+// DeterministicString renders only the protocol metrics, with round-trip
+// float formatting: two runs of the same code produce the same string.
+// The determinism test and the regression tooling compare these.
+func (r Report) DeterministicString() string {
+	return fmt.Sprintf(
+		"scenario=%s seed=%d nodes=%d sim_sec=%g events=%d p50=%g p95=%g p99=%g maint=%g ctrl_bytes=%g issued=%d delivered=%d success=%g hops=%g",
+		r.Scenario, r.Seed, r.Nodes, r.SimDurationSec, r.SimEvents,
+		r.LookupP50Ms, r.LookupP95Ms, r.LookupP99Ms,
+		r.MaintenanceMsgsPerNodeSec, r.ControlBytesPerNodeSec,
+		r.LookupsIssued, r.LookupsDelivered, r.LookupSuccessRate, r.MeanHops)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,159 @@
+package perfbench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testScale shrinks scenarios so the whole file runs in CI-test time.
+const testScale = 8
+
+func TestScenariosCanonicalSet(t *testing.T) {
+	want := []string{"steady", "churn", "overload5x", "secure", "hotspot"}
+	scs := Scenarios(1)
+	if len(scs) != len(want) {
+		t.Fatalf("got %d scenarios, want %d", len(scs), len(want))
+	}
+	for i, name := range want {
+		if scs[i].Name != name {
+			t.Errorf("scenario[%d] = %q, want %q", i, scs[i].Name, name)
+		}
+		if scs[i].Seed == 0 {
+			t.Errorf("scenario %q has no seed", name)
+		}
+	}
+	for _, tier1 := range Tier1() {
+		if _, err := ByName(tier1, 1); err != nil {
+			t.Errorf("tier-1 scenario %q not in canonical set: %v", tier1, err)
+		}
+	}
+	if _, err := ByName("nope", 1); err == nil {
+		t.Error("ByName accepted an unknown scenario")
+	}
+}
+
+func TestScaleKeepsFloors(t *testing.T) {
+	for _, sc := range Scenarios(1000) {
+		if sc.Nodes < 16 {
+			t.Errorf("%s scaled below the population floor: %d", sc.Name, sc.Nodes)
+		}
+		if sc.Duration < 2*time.Minute {
+			t.Errorf("%s scaled below the duration floor: %v", sc.Name, sc.Duration)
+		}
+	}
+}
+
+// TestRunDeterministic proves the protocol metrics of a scenario run are
+// bit-reproducible: the regression tooling may treat any difference as a
+// code change.
+func TestRunDeterministic(t *testing.T) {
+	sc, err := ByName("churn", testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Run(sc)
+	b := Run(sc)
+	if a.DeterministicString() != b.DeterministicString() {
+		t.Errorf("same scenario, different protocol metrics:\n a: %s\n b: %s",
+			a.DeterministicString(), b.DeterministicString())
+	}
+	if a.SimEvents == 0 {
+		t.Error("run executed no simulator events")
+	}
+	if a.LookupsIssued == 0 {
+		t.Error("run issued no lookups")
+	}
+	if a.LookupP50Ms <= 0 || a.LookupP99Ms < a.LookupP50Ms {
+		t.Errorf("implausible latency quantiles: p50=%g p99=%g", a.LookupP50Ms, a.LookupP99Ms)
+	}
+	if a.MaintenanceMsgsPerNodeSec <= 0 {
+		t.Error("no maintenance traffic measured")
+	}
+}
+
+// TestReportJSONRoundTrip writes a real report to disk and decodes it
+// back: the emitted BENCH_*.json must survive a strict (unknown fields
+// rejected) round trip unchanged.
+func TestReportJSONRoundTrip(t *testing.T) {
+	sc, err := ByName("steady", testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Run(sc)
+	dir := t.TempDir()
+	path, err := rep.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_steady.json" {
+		t.Errorf("wrote %q, want BENCH_steady.json", filepath.Base(path))
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != rep {
+		t.Errorf("round trip changed the report:\n wrote %+v\n read  %+v", rep, got)
+	}
+}
+
+func TestReadFileRejectsBadReports(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := map[string]string{
+		"unknown field": `{"schema":1,"scenario":"x","bogus":3}`,
+		"wrong schema":  `{"schema":999,"scenario":"x"}`,
+		"no scenario":   `{"schema":1}`,
+		"not json":      `hello`,
+	}
+	i := 0
+	for name, content := range cases {
+		p := write(FileName("bad"+string(rune('a'+i))), content)
+		i++
+		if _, err := ReadFile(p); err == nil {
+			t.Errorf("%s: ReadFile accepted invalid report", name)
+		}
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("ReadFile accepted a missing file")
+	}
+}
+
+// TestReportJSONFieldNames pins the schema's wire names: renaming a field
+// breaks the trajectory and must be deliberate (bump SchemaVersion).
+func TestReportJSONFieldNames(t *testing.T) {
+	buf, err := json.Marshal(Report{Schema: SchemaVersion, Scenario: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		`"schema"`, `"scenario"`, `"seed"`, `"nodes"`, `"sim_duration_sec"`,
+		`"ns_per_op"`, `"allocs_per_op"`, `"bytes_per_op"`,
+		`"sim_events"`, `"sim_events_per_sec"`,
+		`"lookup_p50_ms"`, `"lookup_p95_ms"`, `"lookup_p99_ms"`,
+		`"maintenance_msgs_per_node_sec"`, `"control_bytes_per_node_sec"`,
+		`"lookups_issued"`, `"lookups_delivered"`, `"lookup_success_rate"`,
+		`"mean_hops"`,
+	} {
+		if !strings.Contains(string(buf), key) {
+			t.Errorf("schema missing field %s in %s", key, buf)
+		}
+	}
+}
+
+func TestWriteFileRefusesWrongSchema(t *testing.T) {
+	r := Report{Schema: SchemaVersion + 1, Scenario: "x"}
+	if _, err := r.WriteFile(t.TempDir()); err == nil {
+		t.Error("WriteFile accepted a report with a foreign schema version")
+	}
+}

@@ -215,8 +215,9 @@ type Histogram struct {
 	bounds []float64
 	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
 	count  atomic.Uint64
-	sumMu  sync.Mutex
-	sum    float64
+	// sum holds the float64 bit pattern of the running sum, updated with a
+	// CAS loop so concurrent observers never serialize on a mutex.
+	sum atomic.Uint64
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -231,20 +232,20 @@ func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
 	h.count.Add(1)
-	h.sumMu.Lock()
-	h.sum += v
-	h.sumMu.Unlock()
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
 // Sum returns the sum of observed values.
-func (h *Histogram) Sum() float64 {
-	h.sumMu.Lock()
-	defer h.sumMu.Unlock()
-	return h.sum
-}
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
 // Quantile estimates the q-quantile (for example 0.5, 0.95, 0.99) by
 // linear interpolation within the containing bucket, the same estimate

@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkHistogramObserve measures the single-goroutine observation
+// path: every delivered lookup, ack RTT and join in the simulator passes
+// through it, so it runs millions of times per experiment.
+func BenchmarkHistogramObserve(b *testing.B) {
+	reg := NewRegistry()
+	h := reg.Histogram("bench_observe_seconds", "bench", DefBuckets)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) / 1000)
+	}
+}
+
+// BenchmarkHistogramObserveParallel measures contended observation: a
+// live node's transport and admin goroutines observe concurrently, and
+// any serialization here back-pressures the event loop.
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	reg := NewRegistry()
+	h := reg.Histogram("bench_observe_parallel_seconds", "bench", DefBuckets)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var i uint64
+		for pb.Next() {
+			i++
+			h.Observe(float64(i%1000) / 1000)
+		}
+	})
+	if h.Count() != uint64(b.N) {
+		b.Fatalf("lost observations: count=%d want %d", h.Count(), b.N)
+	}
+}
+
+// BenchmarkCounterAddParallel is the baseline the histogram should
+// approach: pure atomic counters never serialize.
+func BenchmarkCounterAddParallel(b *testing.B) {
+	reg := NewRegistry()
+	c := reg.Counter("bench_counter_total", "bench")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	var sink atomic.Uint64
+	sink.Store(c.Value())
+}

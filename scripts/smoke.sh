@@ -12,7 +12,6 @@ A_ADMIN=127.0.0.1:7481
 B_ADMIN=127.0.0.1:7482
 
 dir=$(mktemp -d)
-bin="$dir/mspastry-node"
 cleanup() {
   # hold_pid may hold several pids; word-splitting is intentional.
   for p in ${a_pid:-} ${b_pid:-} ${hold_pid:-}; do
@@ -22,7 +21,13 @@ cleanup() {
 }
 trap cleanup EXIT
 
-go build -o "$bin" ./cmd/mspastry-node
+# CI builds all binaries once into a cached bin/ and points
+# MSPASTRY_NODE_BIN at it; standalone runs still build their own copy.
+bin="${MSPASTRY_NODE_BIN:-}"
+if [[ -z "$bin" ]]; then
+  bin="$dir/mspastry-node"
+  go build -o "$bin" ./cmd/mspastry-node
+fi
 
 # The node reads commands from stdin and exits on EOF, so each process
 # gets a fifo held open for the lifetime of the test.
